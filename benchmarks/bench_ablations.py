@@ -1,0 +1,21 @@
+"""Design-choice ablation harness (AGEN, lookahead, DMA, granularity,
+level selection, kernel fusion)."""
+
+from repro.core.config import StepStoneConfig
+from repro.core.fusion import fused_execute
+from repro.core.gemm import GemmShape
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+
+
+def test_ablations(run_bench):
+    run_bench("ablations")
+
+
+def test_ablation_fusion_cost(benchmark):
+    cfg = StepStoneConfig.default()
+    sky = make_skylake()
+    r = benchmark(
+        fused_execute, cfg, sky, GemmShape(1600, 6400, 4), PimLevel.BANKGROUP
+    )
+    assert r.savings_fraction > 0.05

@@ -1,0 +1,23 @@
+"""Headline-claims harness (§I contributions, §V-B batch splitting)."""
+
+from repro.serving.scheduler import BatchServer
+
+
+def test_claims(run_bench):
+    run_bench("claims")
+
+
+def test_claims_serving_break_even(benchmark):
+    def run():
+        return BatchServer().break_even_batch(1024, 4096, n_max=1024)
+
+    be = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert be >= 64
+
+
+def test_claims_hybrid_split(benchmark):
+    srv = BatchServer()
+    srv.pim_latency(1024, 4096, 32)  # warm the chunk cache
+
+    h = benchmark(srv.hybrid_split, 1024, 4096, 512)
+    assert h.latency_s <= srv.pim_latency(1024, 4096, 512)

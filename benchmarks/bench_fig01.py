@@ -1,0 +1,32 @@
+"""Fig. 1 harness: CPU/GPU roofline points for bandwidth-bound GEMMs."""
+
+from repro.baselines.cpu import CpuGemmModel
+from repro.baselines.gpu import GpuGemmModel
+from repro.core.gemm import GemmShape
+
+
+def test_fig01(run_bench):
+    run_bench("fig01", fast_timing=False)
+
+
+def test_fig01_cpu_model_sweep(benchmark):
+    cpu = CpuGemmModel()
+
+    def sweep():
+        return [cpu.gflops(GemmShape(1024, 4096, 1 << i)) for i in range(11)]
+
+    points = benchmark(sweep)
+    assert points == sorted(points)  # monotone in batch
+
+
+def test_fig01_gpu_model_sweep(benchmark):
+    gpu = GpuGemmModel()
+
+    def sweep():
+        return [
+            gpu.gflops(GemmShape(1024, 4096, 1 << i), weights_in_device=False)
+            for i in range(11)
+        ]
+
+    points = benchmark(sweep)
+    assert all(p > 0 for p in points)

@@ -1,0 +1,5 @@
+"""Benchmark + regeneration harness: Fig. 7 rooflines incl. StepStone-BG/DV."""
+
+
+def test_fig07(run_bench):
+    run_bench("fig07")

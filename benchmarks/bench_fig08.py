@@ -1,0 +1,32 @@
+"""Fig. 8 harness: end-to-end inference under all seven backends.
+
+Regenerates the normalized stacks and benchmarks one full model evaluation
+(BERT under STP) including GEMM tiling, scheduling, and CPU-op modelling.
+"""
+
+from repro.models.inference import InferenceEngine, all_models
+
+
+def test_fig08(run_bench):
+    run_bench("fig08")
+
+
+def test_fig08_bert_stp(benchmark):
+    engine = InferenceEngine()
+    spec = all_models()["BERT"]
+
+    def run():
+        engine._tile_cache.clear()  # measure a cold evaluation
+        return engine.run(spec, "stp")
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.total_s > 0
+
+
+def test_fig08_dlrm_all_backends(benchmark):
+    engine = InferenceEngine()
+    spec = all_models()["DLRM"]
+    results = benchmark.pedantic(
+        lambda: engine.run_all(spec), rounds=2, iterations=1
+    )
+    assert results["stp"].total_s <= results["cpu"].total_s

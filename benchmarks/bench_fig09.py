@@ -1,0 +1,55 @@
+"""Fig. 9 harness: naive vs. StepStone AGEN.
+
+Regenerates the figure's series and benchmarks the address-generation
+machinery itself: exact subspace-walk trace generation vs. the vectorized
+oracle, plus both iteration-count models.
+"""
+
+import pytest
+
+from repro.core.agen import (
+    ExactStepStoneAGEN,
+    naive_iterations,
+    stepstone_iteration_counts,
+)
+from repro.mapping.analysis import analyze_footprint
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+
+SKY = make_skylake()
+
+
+def test_fig09(run_bench):
+    run_bench("fig09")
+
+
+def test_fig09_exact_agen_trace(benchmark):
+    fa = analyze_footprint(SKY, PimLevel.BANKGROUP, 256, 4096)
+    pim = int(fa.active_pim_ids()[0])
+
+    def gen():
+        return ExactStepStoneAGEN(fa, pim, 0).trace()
+
+    trace = benchmark(gen)
+    assert len(trace) > 0
+
+
+def test_fig09_oracle_trace(benchmark):
+    fa = analyze_footprint(SKY, PimLevel.BANKGROUP, 256, 4096)
+    pim = int(fa.active_pim_ids()[0])
+    trace = benchmark(lambda: fa.blocks_of(pim, 0))
+    assert len(trace) > 0
+
+
+@pytest.mark.parametrize("n", [2**14, 2**18])
+def test_fig09_iteration_models(benchmark, n):
+    counts = benchmark(stepstone_iteration_counts, n)
+    assert counts.mean() < 4.0
+
+
+def test_fig09_naive_iteration_model(benchmark):
+    fa = analyze_footprint(SKY, PimLevel.BANKGROUP, 1024, 4096)
+    pim = int(fa.active_pim_ids()[0])
+    addrs = fa.blocks_of(pim, 0)
+    gaps = benchmark(naive_iterations, addrs)
+    assert gaps.max() >= 1

@@ -1,0 +1,5 @@
+"""Benchmark + regeneration harness: Fig. 10 all-vs-half PIM tradeoff."""
+
+
+def test_fig10(run_bench):
+    run_bench("fig10")

@@ -1,0 +1,30 @@
+"""Fig. 11 harness: address-mapping sensitivity.
+
+Also benchmarks the footprint analysis (block grouping) itself across the
+five Table II mappings — the planning cost a runtime system would pay per
+matrix registration.
+"""
+
+import pytest
+
+from repro.mapping.analysis import analyze_footprint
+from repro.mapping.presets import mapping_by_id
+from repro.mapping.xor_mapping import PimLevel
+
+
+def test_fig11(run_bench):
+    run_bench("fig11")
+
+
+@pytest.mark.parametrize("mid", range(5))
+def test_fig11_grouping_cost(benchmark, mid):
+    mapping = mapping_by_id(mid)
+
+    def analyze():
+        fa = analyze_footprint(mapping, PimLevel.BANKGROUP, 128, 8192)
+        # Force the lazy group computation and one column enumeration.
+        fa.cols_of(int(fa.active_pim_ids()[0]), 0)
+        return fa
+
+    fa = benchmark(analyze)
+    assert fa.n_groups >= 1

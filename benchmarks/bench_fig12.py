@@ -1,0 +1,5 @@
+"""Benchmark + regeneration harness: Fig. 12 scratchpad capacity sweep."""
+
+
+def test_fig12(run_bench):
+    run_bench("fig12")

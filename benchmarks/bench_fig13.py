@@ -1,0 +1,24 @@
+"""Fig. 13 harness: colocation speedup of STP over eCHO.
+
+Also benchmarks the synthetic CPU traffic generator running through the
+command-level DRAM simulator (the §IV gem5+Ramulator substitute).
+"""
+
+from repro.colocation.traffic import SPEC_WORKLOADS, TrafficGenerator
+from repro.dram.controller import ChannelController
+
+
+def test_fig13(run_bench):
+    run_bench("fig13")
+
+
+def test_fig13_traffic_through_controller(benchmark):
+    gen = TrafficGenerator(SPEC_WORKLOADS["mcf"], seed=7)
+    reqs = gen.requests(2000)
+
+    def run():
+        ctl = ChannelController(refresh=True)
+        return ctl.run([r for r in reqs])
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert stats.reads + stats.writes == 2000

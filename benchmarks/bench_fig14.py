@@ -1,0 +1,5 @@
+"""Benchmark + regeneration harness: Fig. 14 power and energy per op."""
+
+
+def test_fig14(run_bench):
+    run_bench("fig14")

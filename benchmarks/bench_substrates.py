@@ -1,0 +1,53 @@
+"""Substrate micro-benchmarks: DRAM simulators and the XOR mapping layer.
+
+Not a paper artifact — these track the cost of the building blocks every
+experiment rests on (useful when tuning the vectorized paths against the
+command-level reference).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dram.commands import BankCoord, Request
+from repro.dram.controller import ChannelController
+from repro.dram.stream import StreamAccess, stream_cycles
+from repro.mapping.presets import make_skylake
+
+SKY = make_skylake()
+
+
+def test_controller_row_hit_stream(benchmark):
+    def run():
+        ctl = ChannelController(refresh=False)
+        reqs = [
+            Request(arrival=0, coord=BankCoord(0, i % 4, 0), row=i // 64, column=i % 128, request_id=i)
+            for i in range(3000)
+        ]
+        return ctl.run(reqs)
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert stats.reads == 3000
+
+
+@pytest.mark.parametrize("n", [10_000, 1_000_000])
+def test_stream_model_scaling(benchmark, n):
+    rng = np.random.default_rng(0)
+    bg = rng.integers(0, 4, n)
+    acc = StreamAccess(
+        rank=np.zeros(n, dtype=np.int64),
+        bankgroup=bg,
+        bank=bg * 4,
+        row=np.repeat(np.arange(n // 128 + 1), 128)[:n],
+    )
+    stats = benchmark(stream_cycles, acc)
+    assert stats.accesses == n
+
+
+def test_mapping_vectorized_throughput(benchmark):
+    addrs = np.arange(1_000_000, dtype=np.uint64) * np.uint64(64)
+
+    def run():
+        return SKY.coords_arrays(addrs)
+
+    coords = benchmark(run)
+    assert len(coords["row"]) == 1_000_000

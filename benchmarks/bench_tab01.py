@@ -1,0 +1,5 @@
+"""Benchmark + regeneration harness: Table I workloads through the scheduler."""
+
+
+def test_tab01(run_bench):
+    run_bench("tab01")

@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper artifact via its experiment runner,
+times it with pytest-benchmark, and prints the data series (the rows the
+paper's table/figure reports).  Heavy experiments run in ``fast`` mode for
+the timed iterations and full mode once for the printed table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+_printed = set()
+
+
+def bench_experiment(benchmark, capsys, experiment_id: str, fast_timing: bool = True):
+    """Benchmark an experiment runner and print its full-result table once."""
+    benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"fast": fast_timing},
+        rounds=1,
+        iterations=1,
+    )
+    if experiment_id not in _printed:
+        _printed.add(experiment_id)
+        result = run_experiment(experiment_id, fast=False)
+        with capsys.disabled():
+            print()
+            print(result.to_table())
+        assert result.all_checks_pass, f"shape checks failed for {experiment_id}"
+
+
+@pytest.fixture
+def run_bench(benchmark, capsys):
+    def _run(experiment_id: str, fast_timing: bool = True):
+        bench_experiment(benchmark, capsys, experiment_id, fast_timing)
+
+    return _run

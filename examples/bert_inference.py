@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""End-to-end BERT inference across execution backends (Fig. 8 scenario).
+
+Evaluates BERT-large text classification (24 blocks, MLP 1024-4096-1024,
+batch 4 x sequence 8) under the measured CPU, the idealized CPU, the prior
+PIM approaches (PEI, nCHO, eCHO), and StepStone (STP*, STP), printing the
+normalized stack for each and the per-layer dispatch decisions of STP.
+
+Run:  python examples/bert_inference.py
+"""
+
+from repro import PimLevel, StepStoneSystem
+from repro.core.gemm import GemmShape
+from repro.models.bert import make_bert
+from repro.models.inference import BACKENDS, InferenceEngine
+from repro.models.layers import pow2_partition
+
+
+def main() -> None:
+    engine = InferenceEngine()
+    spec = make_bert()
+    print(f"model: {spec.name}  (GEMM flops/inference: {spec.total_gemm_flops:.2e})")
+
+    results = engine.run_all(spec)
+    icpu = results["icpu"]
+    print(f"\n{'backend':>8} {'PIM_DV':>8} {'PIM_BG':>8} {'CPU_GEMM':>9} {'CPU_Other':>10} {'total':>8}")
+    for backend in BACKENDS:
+        n = results[backend].normalized_to(icpu)
+        print(
+            f"{backend:>8} {n['PIM_DV']:>8.3f} {n['PIM_BG']:>8.3f} "
+            f"{n['CPU_GEMM']:>9.3f} {n['CPU_Other']:>10.3f} {n['total']:>8.3f}"
+        )
+    speedup = results["cpu"].total_s / results["stp"].total_s
+    print(f"\nCPU / STP speedup: {speedup:.2f}x")
+
+    # Per-layer dispatch under STP: which unit runs each FC layer?
+    system = StepStoneSystem.default()
+    print("\nSTP per-layer dispatch (unique shapes):")
+    seen = set()
+    for inv in spec.gemms:
+        key = (inv.shape.m, inv.shape.k, inv.shape.n)
+        if key in seen:
+            continue
+        seen.add(key)
+        for tile in pow2_partition(inv.shape):
+            choice = system.choose(tile.m, tile.k, tile.n, max_pinned_bits=0)
+            print(
+                f"  {inv.name:<12} tile {tile.m:>5}x{tile.k:<5} N={tile.n:<3} "
+                f"-> {choice.describe()}"
+            )
+
+
+if __name__ == "__main__":
+    main()

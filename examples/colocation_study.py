@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Colocation study: long-running kernels vs. per-call kernels (Fig. 13).
+
+Sweeps CPU memory-traffic intensity (from idle to the full §IV SPEC mix)
+and reports the GEMM slowdown of StepStone and eCHO, plus the STP/eCHO
+speedup — demonstrating why memory-side address generation (long-running
+kernels) matters when the command channel is shared.
+
+Run:  python examples/colocation_study.py
+"""
+
+from repro.colocation.contention import run_colocated
+from repro.colocation.traffic import SPEC_MIX, SPEC_WORKLOADS
+from repro.core.config import StepStoneConfig
+from repro.core.gemm import GemmShape
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+
+
+def main() -> None:
+    cfg = StepStoneConfig.default()
+    sky = make_skylake()
+    shape = GemmShape(1024, 4096, 4)
+    level = PimLevel.BANKGROUP
+
+    print("colocated CPU applications (SPEC CPU 2017 mix of §IV):")
+    for name, w in SPEC_WORKLOADS.items():
+        print(
+            f"  {name:<9} {w.bandwidth_gbps():5.1f} GB/s demand "
+            f"-> channel utilization {w.command_bus_utilization():.2f}"
+        )
+    u_mix = SPEC_MIX()
+    print(f"  mix total utilization: {u_mix:.2f}\n")
+
+    print(f"GEMM {shape.m}x{shape.k} batch {shape.n} at StepStone-{level.short}:")
+    print(f"{'cpu util':>9} {'STP gemm':>12} {'eCHO gemm':>12} {'STP/eCHO':>9}")
+    baseline = None
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        u = u_mix * frac
+        stp = run_colocated(cfg, sky, shape, level, "stepstone", u)
+        echo = run_colocated(cfg, sky, shape, level, "echo", u)
+        if baseline is None:
+            baseline = stp.gemm_cycles
+        print(
+            f"{u:>9.2f} {stp.gemm_cycles:>12.3e} {echo.gemm_cycles:>12.3e} "
+            f"{echo.gemm_cycles / stp.gemm_cycles:>9.2f}"
+        )
+    print(
+        "\nSTP's single long-running kernel is nearly contention-immune; "
+        "eCHO's per-dot-product launches stall behind CPU traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""StepStone PIM — reproduction of "Accelerating Bandwidth-Bound Deep
+Learning Inference with Main-Memory Accelerators" (Cho, Jung, Erez; SC 2021).
+
+Public API highlights
+---------------------
+- :mod:`repro.mapping` — XOR-based DRAM address mappings and block-group analysis.
+- :mod:`repro.dram` — DDR4 command-level simulator and vectorized stream timing.
+- :mod:`repro.core` — StepStone PIM: AGEN, GEMM execution flow, latency executor.
+- :mod:`repro.baselines` — CPU / GPU / PEI / Chopim comparison models.
+- :mod:`repro.models` — DLRM / BERT / GPT2 / XLM end-to-end inference.
+- :mod:`repro.experiments` — one runner per paper table/figure.
+
+Quickstart::
+
+    from repro import StepStoneSystem, PimLevel
+
+    sys_ = StepStoneSystem.default()
+    result = sys_.run_gemm(m=1024, k=4096, n=4, level=PimLevel.BANKGROUP)
+    print(result.breakdown)
+"""
+
+from repro.mapping import PimLevel, XORAddressMapping, mapping_by_id
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PimLevel",
+    "XORAddressMapping",
+    "mapping_by_id",
+    "StepStoneSystem",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Deferred import: keeps `import repro` light and avoids import cycles.
+    if name == "StepStoneSystem":
+        from repro.core.system import StepStoneSystem
+
+        return StepStoneSystem
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

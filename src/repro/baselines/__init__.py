@@ -1,0 +1,18 @@
+"""Comparison models: CPU, GPU, PEI, and Chopim (naive + enhanced)."""
+
+from repro.baselines.cpu import CpuConfig, CpuGemmModel, XEON_8280
+from repro.baselines.gpu import GpuConfig, GpuGemmModel, TITAN_XP
+from repro.baselines.pei import pei_gemm
+from repro.baselines.chopim import echo_gemm, ncho_gemm
+
+__all__ = [
+    "CpuConfig",
+    "CpuGemmModel",
+    "XEON_8280",
+    "GpuConfig",
+    "GpuGemmModel",
+    "TITAN_XP",
+    "pei_gemm",
+    "echo_gemm",
+    "ncho_gemm",
+]

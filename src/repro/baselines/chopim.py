@@ -1,0 +1,80 @@
+"""Chopim baselines [9]: naive (nCHO) and enhanced (eCHO).
+
+Chopim supports coarse-grained PIM kernels under complex address mappings by
+aligning long vector operands, but its vector-oriented execution cannot
+exploit GEMM block locality:
+
+* **nCHO** — the GEMM runs as N back-to-back GEMV kernels.  Every GEMV
+  streams the entire weight matrix again (the missed temporal locality the
+  paper highlights in §II/§V-B), re-localizes its input vector, and reduces
+  its own partials.  We model it as N executions of the batch-1 flow.
+* **eCHO** — Chopim enhanced with StepStone's block grouping (§IV
+  "Comparisons"): same locality as StepStone, but localization/reduction run
+  on CPU cores and the kernel granularity is one dot-product row, so command
+  traffic is much higher (the §V-G colocation gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import StepStoneConfig
+from repro.core.executor import GemmResult, execute_gemm
+from repro.core.gemm import GemmShape
+from repro.mapping.xor_mapping import PimLevel, XORAddressMapping
+
+__all__ = ["echo_gemm", "ncho_gemm"]
+
+
+def echo_gemm(
+    config: StepStoneConfig,
+    mapping: XORAddressMapping,
+    shape: GemmShape,
+    level: PimLevel,
+    launch_delay_cycles: float = 0.0,
+    pinned_id_bits: int = 0,
+) -> GemmResult:
+    """Enhanced Chopim: StepStone grouping, CPU loc/red, per-dot kernels."""
+    return execute_gemm(
+        config,
+        mapping,
+        shape,
+        level,
+        agen="stepstone",
+        flow="echo",
+        launch_delay_cycles=launch_delay_cycles,
+        pinned_id_bits=pinned_id_bits,
+    )
+
+
+def ncho_gemm(
+    config: StepStoneConfig,
+    mapping: XORAddressMapping,
+    shape: GemmShape,
+    level: PimLevel,
+    launch_delay_cycles: float = 0.0,
+) -> GemmResult:
+    """Naive Chopim: N sequential GEMV kernels, each streaming all of A."""
+    gemv = GemmShape(shape.m, shape.k, 1)
+    one = execute_gemm(
+        config,
+        mapping,
+        gemv,
+        level,
+        agen="stepstone",
+        flow="echo",
+        launch_delay_cycles=launch_delay_cycles,
+    )
+    n = shape.n
+    return GemmResult(
+        plan=one.plan,
+        breakdown=one.breakdown.scaled(n),
+        agen=one.agen,
+        flow="ncho",
+        bubble_stall_cycles=one.bubble_stall_cycles * n,
+        kernel_launches=one.kernel_launches * n,
+        pim_dram_blocks=one.pim_dram_blocks * n,
+        offchip_blocks=one.offchip_blocks * n,
+        simd_mac_ops=one.simd_mac_ops * n,
+        scratchpad_accesses=one.scratchpad_accesses * n,
+    )

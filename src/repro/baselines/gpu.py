@@ -1,0 +1,73 @@
+"""Analytic GPU GEMM model (measured Titan Xp substitute).
+
+Models the two scenarios of Figs. 1 and 7:
+
+* **weights resident in device memory** — a roofline over the GPU's HBM-class
+  bandwidth and fp32 peak (with a CUTLASS-like efficiency factor and a kernel
+  launch floor);
+* **weights resident in host memory** — every GEMM must first stage the
+  weight matrix over PCIe 3.0 x16, which dominates at small batch and is the
+  "data loading overhead" annotation of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.gemm import GemmShape
+
+__all__ = ["GpuConfig", "GpuGemmModel", "TITAN_XP"]
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Calibrated GPU parameters (defaults: NVIDIA Titan Xp)."""
+
+    name: str = "titan-xp"
+    peak_flops: float = 12.15e12  # fp32
+    device_bw_gbps: float = 547.6
+    #: Effective PCIe 3.0 x16 staging bandwidth for pageable host weights
+    #: (well below the 15.75 GB/s wire rate); calibrated so batch-1
+    #: host-resident GPU GEMM lands below the CPU, as Fig. 1 shows.
+    pcie_bw_gbps: float = 10.0
+    compute_efficiency: float = 0.80
+    bandwidth_efficiency: float = 0.75
+    kernel_launch_s: float = 5.0e-6
+    #: Occupancy roll-off for tall-skinny GEMMs: with tiny N the kernel grid
+    #: cannot fill the SMs and no split-K reuse exists, so achieved
+    #: bandwidth scales ~ N / (N + half_n).  Calibrated so the device-
+    #: resident GPU overtakes StepStone only beyond batch 16 (Fig. 7).
+    skinny_half_n: float = 192.0
+
+
+TITAN_XP = GpuConfig()
+
+
+class GpuGemmModel:
+    """Latency/throughput model for GPU GEMM."""
+
+    def __init__(self, config: GpuConfig = TITAN_XP) -> None:
+        self.config = config
+
+    def gemm_seconds(self, shape: GemmShape, weights_in_device: bool = True) -> float:
+        c = self.config
+        a_bytes = shape.weight_bytes
+        bytes_touched = a_bytes + 4.0 * shape.k * shape.n + 4.0 * shape.m * shape.n
+        compute_s = shape.flops / (c.peak_flops * c.compute_efficiency)
+        occupancy = shape.n / (shape.n + c.skinny_half_n)
+        eff_bw = c.device_bw_gbps * 1e9 * c.bandwidth_efficiency * occupancy
+        mem_s = bytes_touched / eff_bw
+        t = max(compute_s, mem_s) + c.kernel_launch_s
+        if not weights_in_device:
+            # Host-resident weights: stage A over PCIe first (B/C transfers
+            # are negligible next to A for the paper's shapes).
+            t += a_bytes / (c.pcie_bw_gbps * 1e9)
+        return t
+
+    def gemm_cycles(
+        self, shape: GemmShape, dram_clock_hz: float = 1.2e9, weights_in_device: bool = True
+    ) -> float:
+        return self.gemm_seconds(shape, weights_in_device) * dram_clock_hz
+
+    def gflops(self, shape: GemmShape, weights_in_device: bool = True) -> float:
+        return shape.flops / self.gemm_seconds(shape, weights_in_device) / 1e9

@@ -1,0 +1,23 @@
+"""Concurrent CPU/PIM execution: traffic generators + command-bus contention."""
+
+from repro.colocation.traffic import (
+    CpuWorkload,
+    SPEC_MIX,
+    SPEC_WORKLOADS,
+    TrafficGenerator,
+)
+from repro.colocation.contention import (
+    ColocationResult,
+    CommandBusModel,
+    colocation_speedup,
+)
+
+__all__ = [
+    "CpuWorkload",
+    "SPEC_MIX",
+    "SPEC_WORKLOADS",
+    "TrafficGenerator",
+    "ColocationResult",
+    "CommandBusModel",
+    "colocation_speedup",
+]

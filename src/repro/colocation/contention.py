@@ -1,0 +1,130 @@
+"""Command-channel contention between CPU traffic and PIM kernel launches.
+
+§V-G: when the CPU runs memory-intensive work concurrently with the PIMs,
+both contend for the command channel.  StepStone's long-running kernels
+need a handful of launch packets per GEMM; eCHO needs one per dot-product
+row, and each launch must win command-bus slots against the CPU's demand
+stream.  PEI is worst: one packet per cache block.
+
+The model treats the per-channel command bus as an M/D/1-like server: CPU
+traffic holds utilization ``u``; a PIM launch packet of ``P`` slots then
+sees an effective service time of ``P / (1 - u)`` plus a queueing wait of
+``u / (2 (1 - u))`` slots — the standard mean-wait expression with
+deterministic service.  The extra delay per launch is fed back into the
+GEMM executor, which serializes launches on the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.baselines.chopim import echo_gemm
+from repro.core.config import StepStoneConfig
+from repro.core.executor import GemmResult, execute_gemm
+from repro.core.gemm import GemmShape
+from repro.mapping.xor_mapping import PimLevel, XORAddressMapping
+
+__all__ = ["CommandBusModel", "ColocationResult", "colocation_speedup"]
+
+
+@dataclass(frozen=True)
+class CommandBusModel:
+    """Shared command-bus arbitration with CPU-priority service."""
+
+    cpu_utilization: float
+    packet_slots: float = 16.0  # slots per kernel-launch packet
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu_utilization < 1.0:
+            raise ValueError("cpu_utilization must be in [0, 1)")
+
+    @property
+    def launch_delay_cycles(self) -> float:
+        """Extra cycles one kernel launch waits due to CPU contention."""
+        u = self.cpu_utilization
+        if u == 0.0:
+            return 0.0
+        service_stretch = self.packet_slots * (1.0 / (1.0 - u) - 1.0)
+        queue_wait = u / (2.0 * (1.0 - u)) * self.packet_slots
+        return service_stretch + queue_wait
+
+
+@dataclass
+class ColocationResult:
+    """GEMM-under-colocation outcome for one flow."""
+
+    flow: str
+    level: PimLevel
+    shape: GemmShape
+    cpu_utilization: float
+    result: GemmResult
+    launch_delay_cycles: float
+
+    @property
+    def gemm_cycles(self) -> float:
+        return self.result.breakdown.gemm
+
+    @property
+    def total_cycles(self) -> float:
+        return self.result.breakdown.total
+
+
+def run_colocated(
+    config: StepStoneConfig,
+    mapping: XORAddressMapping,
+    shape: GemmShape,
+    level: PimLevel,
+    flow: str,
+    cpu_utilization: float,
+    packet_slots: Optional[float] = None,
+) -> ColocationResult:
+    """Execute one GEMM with command-channel contention applied."""
+    bus = CommandBusModel(
+        cpu_utilization=cpu_utilization,
+        packet_slots=packet_slots
+        if packet_slots is not None
+        else config.dma.kernel_launch_cycles,
+    )
+    delay = bus.launch_delay_cycles
+    if flow == "stepstone":
+        res = execute_gemm(
+            config, mapping, shape, level, flow="stepstone", launch_delay_cycles=delay
+        )
+    elif flow == "echo":
+        res = echo_gemm(config, mapping, shape, level, launch_delay_cycles=delay)
+    else:
+        raise ValueError(f"unknown flow {flow!r}")
+    return ColocationResult(
+        flow=flow,
+        level=level,
+        shape=shape,
+        cpu_utilization=cpu_utilization,
+        result=res,
+        launch_delay_cycles=delay,
+    )
+
+
+def colocation_speedup(
+    config: StepStoneConfig,
+    mapping: XORAddressMapping,
+    shape: GemmShape,
+    level: PimLevel,
+    cpu_utilization: float,
+) -> Dict[str, float]:
+    """Fig. 13 metric: STP speedup over eCHO for GEMM execution only.
+
+    The paper isolates the long-running-kernel benefit by running the same
+    StepStone GEMM flow on both and "reporting results corresponding only
+    to GEMM execution", so the speedup compares the GEMM components.
+    """
+    stp = run_colocated(config, mapping, shape, level, "stepstone", cpu_utilization)
+    echo = run_colocated(config, mapping, shape, level, "echo", cpu_utilization)
+    return {
+        "stp_gemm_cycles": stp.gemm_cycles,
+        "echo_gemm_cycles": echo.gemm_cycles,
+        "speedup": echo.gemm_cycles / stp.gemm_cycles,
+        "launch_delay_cycles": stp.launch_delay_cycles,
+        "echo_launches": float(echo.result.kernel_launches),
+        "stp_launches": float(stp.result.kernel_launches),
+    }

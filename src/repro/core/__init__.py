@@ -1,0 +1,69 @@
+"""StepStone PIM core: configs, AGEN, GEMM execution flow, and executor."""
+
+from repro.core.config import (
+    DMA_ENGINE,
+    PimUnitConfig,
+    StepStoneConfig,
+    STEPSTONE_BG,
+    STEPSTONE_CH,
+    STEPSTONE_DV,
+    pim_config,
+)
+from repro.core.agen import (
+    ExactStepStoneAGEN,
+    agen_supported,
+    naive_iterations,
+    stepstone_iteration_counts,
+    stepstone_iterations,
+)
+
+__all__ = [
+    "DMA_ENGINE",
+    "PimUnitConfig",
+    "StepStoneConfig",
+    "STEPSTONE_BG",
+    "STEPSTONE_CH",
+    "STEPSTONE_DV",
+    "pim_config",
+    "ExactStepStoneAGEN",
+    "agen_supported",
+    "naive_iterations",
+    "stepstone_iteration_counts",
+    "stepstone_iterations",
+    "GemmPlan",
+    "GemmShape",
+    "plan_gemm",
+    "GemmResult",
+    "LatencyBreakdown",
+    "execute_gemm",
+    "functional_gemm",
+    "PimChoice",
+    "choose_execution",
+    "StepStoneSystem",
+]
+
+_LAZY = {
+    "GemmPlan": "repro.core.gemm",
+    "GemmShape": "repro.core.gemm",
+    "plan_gemm": "repro.core.gemm",
+    "GemmResult": "repro.core.executor",
+    "LatencyBreakdown": "repro.core.executor",
+    "execute_gemm": "repro.core.executor",
+    "functional_gemm": "repro.core.functional",
+    "PimChoice": "repro.core.scheduler",
+    "choose_execution": "repro.core.scheduler",
+    "StepStoneSystem": "repro.core.system",
+    "FusedGemmResult": "repro.core.fusion",
+    "fused_execute": "repro.core.fusion",
+    "pow2_grid": "repro.core.fusion",
+}
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro.core` cheap and break import cycles.
+    mod = _LAZY.get(name)
+    if mod is None:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(mod), name)

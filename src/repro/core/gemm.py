@@ -1,0 +1,292 @@
+"""StepStone GEMM planning (Algorithm 1).
+
+Planning turns (matrix shape, PIM level, mapping) into everything the timing
+executor needs:
+
+* padded power-of-two shape (§III footnote 2);
+* the footprint analysis (block groups, per-(PIM, group) columns);
+* scratchpad partitioning: row partitions sized so the C tile fits, column
+  partitions so the B tile fits, with the B/C split chosen by a small search
+  (§V-F "We search for an optimal allocation across the scratchpad
+  partitioning options");
+* per-phase data volumes: localization writes, reduction reads/writes,
+  per-PIM buffer fill/drain traffic, GEMM block counts;
+* kernel-launch counts for the long-running StepStone kernel vs. eCHO's
+  per-dot-product invocations (Algorithm 1's two inner variants).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import PimUnitConfig, StepStoneConfig
+from repro.mapping.analysis import FootprintAnalysis
+from repro.mapping.xor_mapping import PimLevel, XORAddressMapping
+
+__all__ = ["GemmShape", "GroupWork", "GemmPlan", "plan_gemm"]
+
+
+def _next_pow2(x: int) -> int:
+    return 1 << max(0, (x - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """C[m, n] += A[m, k] @ B[k, n];  A is the memory-resident weight matrix."""
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) <= 0:
+            raise ValueError(f"all GEMM dimensions must be positive: {self}")
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.k * self.n
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.m * self.k * 4
+
+    def padded(self, min_k: int = 16, word_bytes: int = 4, block_bytes: int = 64) -> "GemmShape":
+        """Pad M and K to powers of two; K also to at least one cache block.
+
+        N (the batch/activation dimension) is not padded — it only sizes the
+        B and C tiles.  Matches the paper: non-power-of-two matrices are
+        padded or partitioned (§III fn. 2).
+        """
+        min_k = max(min_k, block_bytes // word_bytes)
+        return GemmShape(_next_pow2(self.m), max(_next_pow2(self.k), min_k), self.n)
+
+
+@dataclass(frozen=True)
+class GroupWork:
+    """One (PIM, group) work item: how many columns/rows this PIM walks."""
+
+    pim: int
+    group: int
+    n_cols: int  # block columns owned per matrix row of the group
+    n_rows: int  # matrix rows in the group
+
+
+@dataclass
+class GemmPlan:
+    """Fully-resolved execution plan for one GEMM at one PIM level."""
+
+    shape: GemmShape  # padded shape
+    orig_shape: GemmShape
+    level: PimLevel
+    unit: PimUnitConfig
+    analysis: FootprintAnalysis
+    rpart_rows: int
+    cpart_blocks: int
+    n_rparts: int
+    scratchpad_c_fraction: float
+    work: Dict[int, List[GroupWork]]  # pim -> group work items
+    direct_scratchpad: bool  # small-matrix optimization (§III-E)
+
+    # ------------------------------------------------------------------ #
+    # Derived volumes (words of fp32 unless noted)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_active_pims(self) -> int:
+        return len(self.work)
+
+    @property
+    def n_partials(self) -> int:
+        """C partial copies the host-side engine reduces.
+
+        One per *addressable* unit: the per-device slices behind one unit
+        store their partials lane-aligned within shared cache blocks, so the
+        reduction engine retires all of a unit's slices in a single pass of
+        M x N words (one burst carries every slice's contribution to the
+        same C elements).  This is the accounting consistent with the
+        paper's Fig. 10/11 overhead magnitudes; see DESIGN.md.
+        """
+        return self.n_active_pims
+
+    @property
+    def localization_write_words(self) -> int:
+        """DMA-written words replicating B into per-(PIM, group) regions.
+
+        Each group needs the full K x N input once, spread over the PIMs
+        owning its columns (Fig. 5), so the total is n_groups * K * N.
+        """
+        total_cols = sum(w.n_cols for items in self.work.values() for w in items)
+        return total_cols * 16 * self.shape.n
+
+    @property
+    def reduction_read_words(self) -> int:
+        return self.shape.m * self.shape.n * self.n_partials
+
+    @property
+    def reduction_write_words(self) -> int:
+        return self.shape.m * self.shape.n
+
+    @property
+    def gemm_blocks_per_pim(self) -> Dict[int, int]:
+        return {
+            pim: sum(w.n_cols * w.n_rows for w in items)
+            for pim, items in self.work.items()
+        }
+
+    @property
+    def max_blocks_pim(self) -> int:
+        """The PIM with the most work (the makespan-critical unit)."""
+        blocks = self.gemm_blocks_per_pim
+        return max(blocks, key=lambda p: blocks[p])
+
+    def fill_b_blocks(self, pim: int) -> float:
+        """Cache blocks read from PIM-local DRAM to fill B tiles (total).
+
+        The B region of one group holds ``n_cols`` block-columns x 16 B-rows
+        x N words; it is re-filled once per row partition (row partitions
+        are the outer loop of Algorithm 1).
+        """
+        if self.direct_scratchpad:
+            return 0.0
+        per_pass = sum(w.n_cols * self.shape.n for w in self.work[pim])
+        return float(per_pass * self.n_rparts)
+
+    def fill_c_blocks(self, pim: int) -> float:
+        """Blocks read to fill C tiles across all row partitions (total)."""
+        if self.direct_scratchpad:
+            return 0.0
+        words = self.shape.m * self.shape.n * self.unit.slices_per_unit
+        return words / 16.0
+
+    def drain_c_blocks(self, pim: int) -> float:
+        return self.fill_c_blocks(pim)
+
+    def kernel_launches(self, flow: str) -> int:
+        """PIM kernel invocations issued over the command channel.
+
+        * ``stepstone``: one long-running kernel per active PIM per row
+          partition — AGEN walks groups and partitions internally.
+        * ``echo``: one kernel per DOT-product row per (rpart, group, cpart)
+          (Algorithm 1's eCHO branch).
+        """
+        if flow == "stepstone":
+            return self.n_active_pims * self.n_rparts
+        if flow == "echo":
+            launches = 0
+            for items in self.work.values():
+                for w in items:
+                    n_cparts = max(1, math.ceil(w.n_cols / self.cpart_blocks))
+                    rows_per_rpart = max(1, math.ceil(w.n_rows / self.n_rparts))
+                    launches += self.n_rparts * n_cparts * rows_per_rpart
+            return launches
+        raise ValueError(f"unknown flow {flow!r}")
+
+
+def _choose_partitions(
+    shape: GemmShape,
+    unit: PimUnitConfig,
+    max_group_cols: int,
+    word_bytes: int,
+) -> Tuple[int, int, float]:
+    """Pick (rpart_rows, cpart_blocks, c_fraction) for the scratchpad.
+
+    Minimizes total B re-fill traffic (the only volume that scales with the
+    partition counts), breaking ties toward fewer kernel iterations (larger
+    column tiles).  Searches C-buffer fractions in eighths, as the paper's
+    two-buffer search does.
+    """
+    sp = unit.scratchpad_bytes
+    c_bytes_per_row = shape.n * word_bytes
+    b_bytes_per_colblock = unit.words_per_block_per_slice * shape.n * word_bytes
+    best: Optional[Tuple[float, float, int, int, float]] = None
+    for eighths in range(1, 8):
+        f = eighths / 8.0
+        rpart = min(shape.m, int(f * sp // c_bytes_per_row))
+        cpart = min(max_group_cols, int((1 - f) * sp // b_bytes_per_colblock))
+        if rpart < 1 or cpart < 1:
+            continue
+        n_rparts = math.ceil(shape.m / rpart)
+        refill_cost = n_rparts  # B volume scales linearly with passes
+        n_cparts = math.ceil(max_group_cols / cpart)
+        key = (refill_cost, n_cparts, -rpart)
+        if best is None or key < best[:3]:
+            best = (refill_cost, n_cparts, -rpart, cpart, f)
+    if best is None:
+        raise ValueError(
+            f"batch {shape.n} cannot fit even one C row + one B column in a "
+            f"{sp}-byte scratchpad at level {unit.level.short}; split N first"
+        )
+    _, _, neg_rpart, cpart, f = best
+    return -neg_rpart, cpart, f
+
+
+def plan_gemm(
+    config: StepStoneConfig,
+    mapping: XORAddressMapping,
+    shape: GemmShape,
+    level: PimLevel,
+    base: int = 0,
+    pinned_id_bits: int = 0,
+    unit: Optional[PimUnitConfig] = None,
+) -> GemmPlan:
+    """Build the Algorithm-1 execution plan for one GEMM.
+
+    ``pinned_id_bits`` activates the §III-E subsetting optimization (each
+    pinned bit halves the active PIM count and, usually, the group count).
+    ``unit`` overrides the Table II unit config (relaxed-area or scratchpad
+    sweeps).
+    """
+    u = unit or config.unit(level)
+    padded = shape.padded(word_bytes=config.word_bytes, block_bytes=mapping.geometry.block_bytes)
+    analysis = FootprintAnalysis(
+        mapping,
+        level,
+        padded.m,
+        padded.k,
+        base=base,
+        word_bytes=config.word_bytes,
+        pinned_id_bits=pinned_id_bits,
+    )
+    work: Dict[int, List[GroupWork]] = {}
+    max_group_cols = 1
+    for pim in analysis.active_pim_ids():
+        items: List[GroupWork] = []
+        for grp in range(analysis.n_groups):
+            cols = analysis.cols_of(int(pim), grp)
+            if len(cols) == 0:
+                continue
+            rows = analysis.rows_of_group(grp)
+            items.append(GroupWork(int(pim), grp, len(cols), len(rows)))
+            max_group_cols = max(max_group_cols, len(cols))
+        if items:
+            work[int(pim)] = items
+    rpart, cpart, frac = _choose_partitions(padded, u, max_group_cols, config.word_bytes)
+    n_rparts = math.ceil(padded.m / rpart)
+
+    # Small-matrix direct-scratchpad path (§III-E): B tile of the largest
+    # group plus the full C partial fit per slice -> skip DRAM staging.
+    b_bytes = max_group_cols * u.words_per_block_per_slice * padded.n * config.word_bytes
+    c_bytes = padded.m * padded.n * config.word_bytes
+    direct = (b_bytes + c_bytes) <= u.scratchpad_bytes
+
+    if direct:
+        rpart, n_rparts = padded.m, 1
+        cpart = max_group_cols
+
+    return GemmPlan(
+        shape=padded,
+        orig_shape=shape,
+        level=level,
+        unit=u,
+        analysis=analysis,
+        rpart_rows=rpart,
+        cpart_blocks=cpart,
+        n_rparts=n_rparts,
+        scratchpad_c_fraction=frac,
+        work=work,
+        direct_scratchpad=direct,
+    )

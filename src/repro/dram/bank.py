@@ -1,0 +1,100 @@
+"""Per-bank and per-rank DRAM state machines.
+
+These track the earliest cycle each command type may issue at each bank,
+honouring intra-bank constraints (tRCD/tRP/tRAS/tRC/tRTP/tWR) and the
+rank-level activation constraints (tRRD_S/L and the four-activate window).
+The channel controller layers command/data-bus constraints on top.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.dram.timing import DDR4Timing
+
+__all__ = ["BankTimingState", "Bank", "RankState"]
+
+
+@dataclass
+class BankTimingState:
+    """Earliest-issue cycles for each command class at one bank."""
+
+    act_ready: int = 0
+    pre_ready: int = 0
+    col_ready: int = 0  # RD/WR after the row is open
+
+
+@dataclass
+class Bank:
+    """One DRAM bank: open row plus timing state."""
+
+    timing: DDR4Timing
+    open_row: Optional[int] = None
+    state: BankTimingState = field(default_factory=BankTimingState)
+    last_act: int = -(10**9)
+
+    def can_activate(self, cycle: int) -> bool:
+        return self.open_row is None and cycle >= self.state.act_ready
+
+    def can_precharge(self, cycle: int) -> bool:
+        return self.open_row is not None and cycle >= self.state.pre_ready
+
+    def can_column(self, cycle: int, row: int) -> bool:
+        return self.open_row == row and cycle >= self.state.col_ready
+
+    def activate(self, cycle: int, row: int) -> None:
+        t = self.timing
+        if not self.can_activate(cycle):
+            raise RuntimeError(f"illegal ACT at cycle {cycle}")
+        self.open_row = row
+        self.last_act = cycle
+        self.state.col_ready = max(self.state.col_ready, cycle + t.tRCD)
+        self.state.pre_ready = max(self.state.pre_ready, cycle + t.tRAS)
+        self.state.act_ready = max(self.state.act_ready, cycle + t.tRC)
+
+    def precharge(self, cycle: int) -> None:
+        t = self.timing
+        if not self.can_precharge(cycle):
+            raise RuntimeError(f"illegal PRE at cycle {cycle}")
+        self.open_row = None
+        self.state.act_ready = max(self.state.act_ready, cycle + t.tRP)
+
+    def column_access(self, cycle: int, is_write: bool) -> None:
+        t = self.timing
+        if self.open_row is None or cycle < self.state.col_ready:
+            raise RuntimeError(f"illegal column access at cycle {cycle}")
+        if is_write:
+            # Write recovery gates the following precharge.
+            self.state.pre_ready = max(
+                self.state.pre_ready, cycle + t.tCWL + t.tBL + t.tWR
+            )
+        else:
+            self.state.pre_ready = max(self.state.pre_ready, cycle + t.tRTP)
+
+
+class RankState:
+    """Rank-level activation bookkeeping: tRRD and the tFAW window."""
+
+    def __init__(self, timing: DDR4Timing) -> None:
+        self.timing = timing
+        self._recent_acts: Deque[int] = deque(maxlen=4)
+        self._last_act_cycle: int = -(10**9)
+        self._last_act_bankgroup: int = -1
+
+    def act_ready_cycle(self, bankgroup: int) -> int:
+        """Earliest cycle an ACT to *bankgroup* may issue in this rank."""
+        t = self.timing
+        ready = 0
+        if self._last_act_cycle >= 0:
+            spacing = t.act_to_act(bankgroup == self._last_act_bankgroup)
+            ready = self._last_act_cycle + spacing
+        if len(self._recent_acts) == 4:
+            ready = max(ready, self._recent_acts[0] + t.tFAW)
+        return ready
+
+    def record_act(self, cycle: int, bankgroup: int) -> None:
+        self._recent_acts.append(cycle)
+        self._last_act_cycle = cycle
+        self._last_act_bankgroup = bankgroup

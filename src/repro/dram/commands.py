@@ -1,0 +1,66 @@
+"""DRAM command and request types for the command-level simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["CommandType", "Command", "Request", "BankCoord"]
+
+
+class CommandType(enum.Enum):
+    """DDR4 commands modelled by the controller."""
+
+    ACT = "ACT"  # activate a row
+    PRE = "PRE"  # precharge a bank
+    RD = "RD"  # column read (BL8 burst)
+    WR = "WR"  # column write (BL8 burst)
+    REF = "REF"  # all-bank refresh
+
+
+@dataclass(frozen=True)
+class BankCoord:
+    """Fully-qualified bank coordinate within one channel."""
+
+    rank: int
+    bankgroup: int
+    bank: int
+
+    def flat(self, bankgroups: int, banks: int) -> int:
+        """Flatten to a dense index for per-bank bookkeeping arrays."""
+        return (self.rank * bankgroups + self.bankgroup) * banks + self.bank
+
+
+@dataclass
+class Command:
+    """A scheduled DRAM command (for tracing / assertions in tests)."""
+
+    cycle: int
+    kind: CommandType
+    coord: Optional[BankCoord] = None
+    row: Optional[int] = None
+    column: Optional[int] = None
+
+
+@dataclass
+class Request:
+    """A memory request presented to the channel controller.
+
+    ``arrival`` is the cycle the request enters the queue.  ``extra_gap``
+    models address-generation bubbles: the request may not be *visible* to
+    the controller until the generator produces it, so the controller
+    treats ``arrival`` as a readiness time.
+    """
+
+    arrival: int
+    coord: BankCoord
+    row: int
+    column: int
+    is_write: bool = False
+    request_id: int = field(default=-1)
+    completion: Optional[int] = None  # filled by the controller
+
+    @property
+    def done(self) -> bool:
+        return self.completion is not None

@@ -1,0 +1,281 @@
+"""Command-level DDR4 channel controller (Ramulator-style, FR-FCFS).
+
+This is the validation engine: it issues explicit ACT/PRE/RD/WR/REF commands
+against per-bank state machines, honouring command-bus serialization, data-bus
+cadence (tCCD_S/L, rank switches, read/write turnarounds), activation
+throttling (tRRD, tFAW), and periodic refresh.  The vectorized stream model
+(:mod:`repro.dram.stream`) is checked against this engine in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.bank import Bank, RankState
+from repro.dram.commands import BankCoord, Command, CommandType, Request
+from repro.dram.timing import DDR4Timing, DDR4_2400R
+
+__all__ = ["ChannelController", "ControllerStats"]
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate results of one controller run."""
+
+    total_cycles: int = 0
+    row_hits: int = 0
+    row_misses: int = 0  # ACTs issued for demand requests
+    activates: int = 0
+    precharges: int = 0
+    refreshes: int = 0
+    reads: int = 0
+    writes: int = 0
+    commands: List[Command] = field(default_factory=list)
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class ChannelController:
+    """One DDR4 channel with FR-FCFS scheduling.
+
+    Parameters
+    ----------
+    timing: DDR4 timing set.
+    ranks, bankgroups, banks: channel population (Table II: 2 x 4 x 4).
+    queue_depth: scheduler window (requests considered out of order).
+    refresh: enable periodic per-rank refresh.
+    trace_commands: record every issued command (tests only; memory-heavy).
+    """
+
+    def __init__(
+        self,
+        timing: DDR4Timing = DDR4_2400R,
+        ranks: int = 2,
+        bankgroups: int = 4,
+        banks: int = 4,
+        queue_depth: int = 32,
+        refresh: bool = True,
+        trace_commands: bool = False,
+    ) -> None:
+        self.timing = timing
+        self.ranks = ranks
+        self.bankgroups = bankgroups
+        self.banks_per_group = banks
+        self.queue_depth = queue_depth
+        self.refresh_enabled = refresh
+        self.trace_commands = trace_commands
+        n_banks = ranks * bankgroups * banks
+        self._banks: List[Bank] = [Bank(timing) for _ in range(n_banks)]
+        self._rank_state: List[RankState] = [RankState(timing) for _ in range(ranks)]
+        self._rank_blocked_until: List[int] = [0] * ranks
+        self._next_refresh: List[int] = [timing.tREFI * (1 + r) // ranks for r in range(ranks)]
+        self._last_cmd_cycle: int = -1
+        # Last column command on the data bus: (issue cycle, rank, bankgroup, is_write)
+        self._last_col: Optional[Tuple[int, int, int, bool]] = None
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _bank(self, coord: BankCoord) -> Bank:
+        return self._banks[coord.flat(self.bankgroups, self.banks_per_group)]
+
+    def _col_bus_ready(self, coord: BankCoord, is_write: bool) -> int:
+        """Earliest cycle the data bus permits a column command to *coord*."""
+        if self._last_col is None:
+            return 0
+        t = self.timing
+        last_cycle, last_rank, last_bg, last_write = self._last_col
+        if coord.rank != last_rank:
+            gap = t.tBL + t.tRTRS
+            if last_write and not is_write:
+                gap = max(gap, t.tCWL + t.tBL + t.tRTRS)
+        else:
+            gap = t.cas_to_cas(coord.bankgroup == last_bg)
+            if last_write and not is_write:
+                gap = max(gap, t.write_to_read(coord.bankgroup == last_bg))
+            elif not last_write and is_write:
+                gap = max(gap, t.read_to_write)
+        return last_cycle + gap
+
+    def _needed_command(self, req: Request) -> CommandType:
+        bank = self._bank(req.coord)
+        if bank.open_row == req.row:
+            return CommandType.WR if req.is_write else CommandType.RD
+        if bank.open_row is None:
+            return CommandType.ACT
+        return CommandType.PRE
+
+    def _command_ready_cycle(self, req: Request, kind: CommandType) -> int:
+        bank = self._bank(req.coord)
+        rank_free = self._rank_blocked_until[req.coord.rank]
+        if kind in (CommandType.RD, CommandType.WR):
+            return max(
+                bank.state.col_ready,
+                self._col_bus_ready(req.coord, req.is_write),
+                rank_free,
+            )
+        if kind is CommandType.ACT:
+            return max(
+                bank.state.act_ready,
+                self._rank_state[req.coord.rank].act_ready_cycle(req.coord.bankgroup),
+                rank_free,
+            )
+        return max(bank.state.pre_ready, rank_free)  # PRE
+
+    def _do_refresh(self, rank: int, now: int) -> int:
+        """Precharge-all and refresh *rank*; returns the completion cycle."""
+        t = self.timing
+        start = now
+        for bg in range(self.bankgroups):
+            for b in range(self.banks_per_group):
+                bank = self._bank(BankCoord(rank, bg, b))
+                if bank.open_row is not None:
+                    start = max(start, bank.state.pre_ready)
+        for bg in range(self.bankgroups):
+            for b in range(self.banks_per_group):
+                bank = self._bank(BankCoord(rank, bg, b))
+                if bank.open_row is not None:
+                    bank.open_row = None
+                    bank.state.act_ready = max(bank.state.act_ready, start + t.tRP)
+        ref_start = start + t.tRP
+        done = ref_start + t.tRFC
+        for bg in range(self.bankgroups):
+            for b in range(self.banks_per_group):
+                bank = self._bank(BankCoord(rank, bg, b))
+                bank.state.act_ready = max(bank.state.act_ready, done)
+        return done
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, requests: List[Request]) -> ControllerStats:
+        """Service *requests* (any order); returns aggregate statistics.
+
+        Request ``completion`` fields are filled with data-return cycles.
+        """
+        t = self.timing
+        stats = ControllerStats()
+        pending = sorted(requests, key=lambda r: (r.arrival, r.request_id))
+        queue: List[Request] = []
+        next_idx = 0
+        now = 0
+        last_completion = 0
+        n_total = len(pending)
+        n_done = 0
+
+        while n_done < n_total:
+            # Admit arrived requests into the scheduling window.
+            while (
+                next_idx < n_total
+                and len(queue) < self.queue_depth
+                and pending[next_idx].arrival <= now
+            ):
+                queue.append(pending[next_idx])
+                next_idx += 1
+
+            # Refresh has priority once due.
+            if self.refresh_enabled:
+                for rank in range(self.ranks):
+                    if now >= self._next_refresh[rank]:
+                        done = self._do_refresh(rank, now)
+                        self._rank_blocked_until[rank] = done
+                        self._next_refresh[rank] += t.tREFI
+                        stats.refreshes += 1
+
+            issued = False
+            if queue:
+                # Pass 1: oldest ready row-hit column command (FR part).
+                best: Optional[Tuple[Request, CommandType]] = None
+                for req in queue:
+                    kind = self._needed_command(req)
+                    if kind in (CommandType.RD, CommandType.WR):
+                        if self._command_ready_cycle(req, kind) <= now:
+                            best = (req, kind)
+                            break
+                if best is None:
+                    # Pass 2: prep (ACT/PRE) for the oldest request per bank;
+                    # precharge only when no queued request still hits the row.
+                    seen_banks: set = set()
+                    open_row_hits = {
+                        (r.coord.rank, r.coord.bankgroup, r.coord.bank)
+                        for r in queue
+                        if self._bank(r.coord).open_row == r.row
+                    }
+                    for req in queue:
+                        bkey = (req.coord.rank, req.coord.bankgroup, req.coord.bank)
+                        if bkey in seen_banks:
+                            continue
+                        seen_banks.add(bkey)
+                        kind = self._needed_command(req)
+                        if kind is CommandType.PRE and bkey in open_row_hits:
+                            continue  # keep the row open for younger hits
+                        if kind in (CommandType.ACT, CommandType.PRE):
+                            if self._command_ready_cycle(req, kind) <= now:
+                                best = (req, kind)
+                                break
+                if best is not None:
+                    req, kind = best
+                    bank = self._bank(req.coord)
+                    if kind is CommandType.ACT:
+                        bank.activate(now, req.row)
+                        self._rank_state[req.coord.rank].record_act(
+                            now, req.coord.bankgroup
+                        )
+                        stats.activates += 1
+                        stats.row_misses += 1
+                    elif kind is CommandType.PRE:
+                        bank.precharge(now)
+                        stats.precharges += 1
+                    else:
+                        bank.column_access(now, req.is_write)
+                        self._last_col = (
+                            now,
+                            req.coord.rank,
+                            req.coord.bankgroup,
+                            req.is_write,
+                        )
+                        latency = (t.tCWL if req.is_write else t.tCL) + t.tBL
+                        req.completion = now + latency
+                        last_completion = max(last_completion, req.completion)
+                        queue.remove(req)
+                        n_done += 1
+                        if req.is_write:
+                            stats.writes += 1
+                        else:
+                            stats.reads += 1
+                        # A column access that did not need an ACT is a hit
+                        # only in the row-buffer sense; count it as such.
+                        stats.row_hits += 1
+                    if self.trace_commands:
+                        stats.commands.append(
+                            Command(now, kind, req.coord, req.row, req.column)
+                        )
+                    issued = True
+
+            if issued:
+                now += 1  # command bus: one command per cycle
+                continue
+
+            # Nothing issuable: jump to the next interesting cycle.
+            candidates = []
+            if next_idx < n_total:
+                candidates.append(pending[next_idx].arrival)
+            for req in queue:
+                kind = self._needed_command(req)
+                candidates.append(self._command_ready_cycle(req, kind))
+            if self.refresh_enabled:
+                candidates.extend(self._next_refresh)
+            nxt = min((c for c in candidates if c > now), default=now + 1)
+            now = max(now + 1, nxt)
+
+        # Row-hit accounting: hits counted above include the first access
+        # after each ACT; subtract so hits mean "no ACT needed".
+        stats.row_hits -= stats.activates
+        stats.total_cycles = last_completion
+        return stats

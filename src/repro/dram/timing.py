@@ -1,0 +1,106 @@
+"""DDR4 timing parameters (Table II) and derived quantities.
+
+All values are in DRAM clock cycles at the device clock (1.2 GHz for
+DDR4-2400: data rate 2400 MT/s, burst of 8 transfers over 4 clocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DDR4Timing", "DDR4_2400R"]
+
+
+@dataclass(frozen=True)
+class DDR4Timing:
+    """DDR4 timing set.  Field names follow JEDEC / Ramulator conventions."""
+
+    tBL: int = 4  # burst length (cycles of data bus occupancy)
+    tCCDS: int = 4  # CAS-to-CAS, different bank group
+    tCCDL: int = 6  # CAS-to-CAS, same bank group
+    tRTRS: int = 2  # rank-to-rank switch
+    tCL: int = 16  # CAS latency
+    tRCD: int = 16  # RAS-to-CAS delay
+    tRP: int = 16  # precharge
+    tCWL: int = 12  # CAS write latency
+    tRAS: int = 39  # row active time
+    tRC: int = 55  # row cycle (tRAS + tRP)
+    tRTP: int = 9  # read-to-precharge
+    tWTRS: int = 3  # write-to-read, different bank group
+    tWTRL: int = 9  # write-to-read, same bank group
+    tWR: int = 18  # write recovery
+    tRRDS: int = 4  # ACT-to-ACT, different bank group
+    tRRDL: int = 6  # ACT-to-ACT, same bank group
+    tFAW: int = 26  # four-activate window
+    tREFI: int = 9360  # refresh interval (7.8 us @ 1.2 GHz)
+    tRFC: int = 313  # refresh cycle time (~260 ns for a 4 Gb device)
+    clock_hz: float = 1.2e9
+
+    def __post_init__(self) -> None:
+        for name in (
+            "tBL",
+            "tCCDS",
+            "tCCDL",
+            "tCL",
+            "tRCD",
+            "tRP",
+            "tCWL",
+            "tRAS",
+            "tRC",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.tCCDL < self.tCCDS:
+            raise ValueError("tCCDL must be >= tCCDS")
+        if self.tRC < self.tRAS:
+            raise ValueError("tRC must be >= tRAS")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def row_miss_penalty(self) -> int:
+        """Unoverlapped PRE + ACT-to-CAS cost of a row-buffer miss."""
+        return self.tRP + self.tRCD
+
+    @property
+    def peak_channel_bytes_per_cycle(self) -> float:
+        """64 B per tBL cycles on a 64-bit channel."""
+        return 64.0 / self.tBL
+
+    @property
+    def peak_channel_gbps(self) -> float:
+        """Peak channel bandwidth in GB/s."""
+        return self.peak_channel_bytes_per_cycle * self.clock_hz / 1e9
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of time the rank is unavailable due to refresh."""
+        return self.tRFC / self.tREFI
+
+    def cas_to_cas(self, same_bankgroup: bool, same_rank: bool = True) -> int:
+        """Minimum spacing between two column commands."""
+        if not same_rank:
+            return self.tBL + self.tRTRS
+        return self.tCCDL if same_bankgroup else self.tCCDS
+
+    def act_to_act(self, same_bankgroup: bool) -> int:
+        return self.tRRDL if same_bankgroup else self.tRRDS
+
+    def write_to_read(self, same_bankgroup: bool) -> int:
+        """WR command to RD command spacing (after write burst)."""
+        return self.tCWL + self.tBL + (self.tWTRL if same_bankgroup else self.tWTRS)
+
+    @property
+    def read_to_write(self) -> int:
+        """RD command to WR command spacing (bus turnaround)."""
+        return self.tCL + self.tBL + 2 - self.tCWL
+
+    def scaled(self, **overrides: int) -> "DDR4Timing":
+        """A copy with selected fields overridden (for sensitivity studies)."""
+        return replace(self, **overrides)
+
+
+#: Table II baseline device: DDR4-2400R, 4 Gb, x8.
+DDR4_2400R = DDR4Timing()

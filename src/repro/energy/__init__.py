@@ -1,0 +1,5 @@
+"""Energy and power model (Table II components, Fig. 14)."""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, ENERGY_TABLE2
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "ENERGY_TABLE2"]

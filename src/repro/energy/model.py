@@ -1,0 +1,135 @@
+"""Energy/power model for StepStone PIM executions (Fig. 14).
+
+Components follow Table II:
+
+* in-device DRAM read/write: 11.3 pJ/bit (PIM-side accesses at BG/DV level);
+* off-chip read/write: 25.7 pJ/bit (localization/reduction and CH-level PIM
+  traffic, which crosses the device I/O);
+* SIMD arithmetic and scratchpad access energies per Table II.  The table
+  lists scratchpad energies "CH/DV/BG (0.03/0.1/0.3 nJ/access)"; we assign
+  them size-consistently (the 8 KB BG array is the cheapest per access:
+  0.03 nJ, the 256 KB CH array the most expensive: 0.3 nJ) and note the
+  table's ordering ambiguity here.  SIMD energy is normalized per FLOP so
+  that total PIM power lands in the ~1 W/device envelope the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.executor import GemmResult
+from repro.mapping.xor_mapping import PimLevel
+
+__all__ = ["EnergyTable", "EnergyBreakdown", "EnergyModel", "ENERGY_TABLE2"]
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-event energy constants."""
+
+    in_device_pj_per_bit: float = 11.3
+    off_chip_pj_per_bit: float = 25.7
+    simd_pj_per_flop: float = 11.3
+    scratchpad_nj_per_access: Dict[PimLevel, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.scratchpad_nj_per_access is None:
+            object.__setattr__(
+                self,
+                "scratchpad_nj_per_access",
+                {
+                    PimLevel.BANKGROUP: 0.03,
+                    PimLevel.DEVICE: 0.1,
+                    PimLevel.CHANNEL: 0.3,
+                },
+            )
+
+
+ENERGY_TABLE2 = EnergyTable()
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per component for one GEMM execution (Fig. 14 stacks)."""
+
+    simd_j: float
+    scratchpad_j: float
+    dram_j: float  # PIM-side DRAM access
+    loc_red_j: float  # off-chip localization/reduction traffic
+    seconds: float
+    flops: float
+    n_devices: int
+
+    @property
+    def total_j(self) -> float:
+        return self.simd_j + self.scratchpad_j + self.dram_j + self.loc_red_j
+
+    @property
+    def watts_total(self) -> float:
+        return self.total_j / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def watts_per_device(self) -> float:
+        """Power per DRAM chip (Fig. 14, left)."""
+        return self.watts_total / self.n_devices if self.n_devices else 0.0
+
+    @property
+    def pj_per_op(self) -> float:
+        """Energy per floating-point operation (Fig. 14, right)."""
+        return self.total_j / self.flops * 1e12 if self.flops else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "simd_j": self.simd_j,
+            "scratchpad_j": self.scratchpad_j,
+            "dram_j": self.dram_j,
+            "loc_red_j": self.loc_red_j,
+            "total_j": self.total_j,
+            "watts_per_device": self.watts_per_device,
+            "pj_per_op": self.pj_per_op,
+        }
+
+
+class EnergyModel:
+    """Maps a :class:`GemmResult` to the Fig. 14 energy/power metrics."""
+
+    def __init__(self, table: EnergyTable = ENERGY_TABLE2, clock_hz: float = 1.2e9) -> None:
+        self.table = table
+        self.clock_hz = clock_hz
+
+    def evaluate(self, result: GemmResult, n_devices: int = 32) -> EnergyBreakdown:
+        """Energy for one GEMM execution.
+
+        ``n_devices`` is the DRAM chip population (Table II system:
+        2 channels x 2 ranks x 8 x8-devices = 32 chips).
+        """
+        t = self.table
+        level = result.plan.level
+        block_bits = 64 * 8
+
+        # PIM-side DRAM accesses: only the bank-group PIM lives inside the
+        # DRAM die; device-level (buffer-chip) and channel-level PIMs pull
+        # data across the device I/O pins — the paper's Fig. 14 point that
+        # "IO energy is much smaller within a device".
+        pim_pj_per_bit = (
+            t.in_device_pj_per_bit
+            if level is PimLevel.BANKGROUP
+            else t.off_chip_pj_per_bit
+        )
+        dram_j = result.pim_dram_blocks * block_bits * pim_pj_per_bit * 1e-12
+        loc_red_j = result.offchip_blocks * block_bits * t.off_chip_pj_per_bit * 1e-12
+        flops = 2.0 * result.simd_mac_ops
+        simd_j = flops * t.simd_pj_per_flop * 1e-12
+        scratchpad_j = (
+            result.scratchpad_accesses * t.scratchpad_nj_per_access[level] * 1e-9
+        )
+        return EnergyBreakdown(
+            simd_j=simd_j,
+            scratchpad_j=scratchpad_j,
+            dram_j=dram_j,
+            loc_red_j=loc_red_j,
+            seconds=result.breakdown.total / self.clock_hz,
+            flops=flops,
+            n_devices=n_devices,
+        )

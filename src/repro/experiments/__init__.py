@@ -1,0 +1,20 @@
+"""Experiment runners: one module per paper table/figure.
+
+Each runner returns an :class:`~repro.experiments.common.ExperimentResult`
+whose rows regenerate the corresponding artifact's data series.  Run them
+from the CLI::
+
+    python -m repro.experiments fig06
+    python -m repro.experiments all
+
+or programmatically::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("fig09")
+    print(result.to_table())
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]

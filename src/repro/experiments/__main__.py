@@ -1,0 +1,5 @@
+"""``python -m repro.experiments`` dispatches to the CLI."""
+
+from repro.experiments.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,131 @@
+"""Ablations of StepStone's design choices (DESIGN.md index).
+
+Each ablation disables one mechanism and reports the slowdown on
+representative GEMMs, isolating that mechanism's contribution:
+
+* **AGEN** — increment-correct-and-check vs naive block probing (Fig. 9's
+  mechanism, here across more shapes);
+* **activation lookahead** — the deep AGEN pipeline pre-activating DRAM
+  rows vs paying full row-miss penalties;
+* **DMA localization/reduction** — controller engine vs CPU-driven moves;
+* **kernel granularity** — one long-running kernel vs per-dot-product
+  launches (idle command channel, i.e. the granularity cost *without*
+  colocation);
+* **PIM-level choice** — the scheduler's dynamic level selection vs pinning
+  everything to one level (the §III-E optimization XLM depends on).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import StepStoneConfig
+from repro.core.executor import execute_gemm, execute_plan
+from repro.core.gemm import GemmShape, plan_gemm
+from repro.core.scheduler import choose_execution
+from repro.experiments.common import ExperimentResult
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+
+__all__ = ["run"]
+
+_SHAPES = ((1024, 4096, 4), (4096, 1024, 4), (2048, 8192, 16))
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    res = ExperimentResult(
+        experiment_id="ablations",
+        title="Design-choice ablations",
+        paper_reference="§III mechanisms; DESIGN.md",
+    )
+    cfg = StepStoneConfig.default()
+    sky = make_skylake()
+    shapes = _SHAPES[:1] if fast else _SHAPES
+
+    agen_slow, look_slow, dma_slow, gran_slow = [], [], [], []
+    for m, k, n in shapes:
+        shape = GemmShape(m, k, n)
+        base = execute_gemm(cfg, sky, shape, PimLevel.BANKGROUP)
+
+        naive = execute_gemm(cfg, sky, shape, PimLevel.BANKGROUP, agen="naive")
+        s = naive.breakdown.total / base.breakdown.total
+        agen_slow.append(s)
+        res.add(ablation="no-AGEN", config=f"{m}x{k} N={n}", slowdown=s)
+
+        # Lookahead off: naive generator without even loop-assisted rows is
+        # the closest "blind" configuration; isolate via full-gap naive at
+        # the DV level too (fewer PIMs -> purer row-miss effect).
+        blind = execute_gemm(
+            cfg, sky, shape, PimLevel.DEVICE, agen="naive", naive_full_gaps=True
+        )
+        dv = execute_gemm(cfg, sky, shape, PimLevel.DEVICE)
+        s = blind.breakdown.total / dv.breakdown.total
+        look_slow.append(s)
+        res.add(ablation="no-lookahead(DV)", config=f"{m}x{k} N={n}", slowdown=s)
+
+        plan = plan_gemm(cfg, sky, shape, PimLevel.BANKGROUP)
+        accel = execute_plan(cfg, plan, flow="stepstone")
+        cpu_moved = execute_plan(cfg, plan, flow="echo")
+        s = cpu_moved.breakdown.total / accel.breakdown.total
+        dma_slow.append(s)
+        res.add(ablation="no-DMA-loc-red", config=f"{m}x{k} N={n}", slowdown=s)
+
+        fine = execute_gemm(
+            cfg, sky, shape, PimLevel.BANKGROUP, flow="echo", launch_delay_cycles=0.0
+        )
+        # Isolate granularity: compare kernel-launch overheads only.
+        gran = 1.0 + (fine.kernel_launches - base.kernel_launches) * (
+            cfg.dma.kernel_launch_cycles / cfg.channels
+        ) / base.breakdown.total
+        gran_slow.append(gran)
+        res.add(
+            ablation="per-dot-kernels(idle)",
+            config=f"{m}x{k} N={n}",
+            slowdown=gran,
+        )
+
+    # Kernel fusion for non-pow2 matrices (§III-E): savings vs per-tile.
+    from repro.core.fusion import fused_execute
+
+    fusion_savings = []
+    for m, k, n in ([(1600, 1600, 4)] if fast else [(1600, 1600, 4), (6400, 1600, 4)]):
+        fr = fused_execute(cfg, sky, GemmShape(m, k, n), PimLevel.BANKGROUP)
+        fusion_savings.append(fr.savings_fraction)
+        res.add(
+            ablation="no-fusion(non-pow2)",
+            config=f"{m}x{k} N={n}",
+            slowdown=fr.unfused_breakdown.total / fr.breakdown.total,
+        )
+
+    # Dynamic level selection vs pinned levels, over an N sweep.
+    sweep_ns = (1, 32) if fast else (1, 4, 16, 32)
+    dyn, bg_only, dv_only = 0.0, 0.0, 0.0
+    for n in sweep_ns:
+        shape = GemmShape(1024, 4096, n)
+        dyn += choose_execution(cfg, sky, shape, max_pinned_bits=0).cycles
+        bg_only += execute_gemm(cfg, sky, shape, PimLevel.BANKGROUP).breakdown.total
+        dv_only += execute_gemm(cfg, sky, shape, PimLevel.DEVICE).breakdown.total
+    res.add(ablation="pin-level-BG", config=f"N sweep {sweep_ns}", slowdown=bg_only / dyn)
+    res.add(ablation="pin-level-DV", config=f"N sweep {sweep_ns}", slowdown=dv_only / dyn)
+
+    res.check("AGEN contributes >2x on BG GEMMs", all(s > 2.0 for s in agen_slow))
+    res.check("lookahead/naive costs are visible at DV", all(s > 1.1 for s in look_slow))
+    res.check("DMA loc/red contributes >=10%", any(s > 1.1 for s in dma_slow))
+    res.check(
+        "kernel granularity is a secondary cost without colocation (<2x, "
+        "vs up to ~5.5x with it)",
+        all(s < 2.0 for s in gran_slow),
+    )
+    res.check(
+        "dynamic level choice beats both pinned levels over the sweep",
+        bg_only > dyn and dv_only > dyn,
+    )
+    res.check(
+        "kernel fusion saves >=10% on non-pow2 GPT2 shapes",
+        all(s >= 0.10 for s in fusion_savings),
+    )
+    res.note(
+        "Granularity costs little on an idle command channel — its value "
+        "appears under colocation (fig13), which is the paper's point about "
+        "long-running kernels."
+    )
+    res.chart = {"kind": "grouped", "category_key": "ablation", "value_key": "slowdown"}
+    return res

@@ -1,0 +1,109 @@
+"""Scattered headline claims (§I, §V-B/G) not tied to a single figure.
+
+One runner collecting the paper's quantitative one-liners:
+
+* StepStone GEMM flow improves 35-55% over the prior complex-mapping PIM
+  (Chopim) — §I contribution 2;
+* controller-side localization/reduction acceleration adds up to ~40% — §I
+  contribution 3 ("accelerate ... to improve performance by up to an
+  additional 40%");
+* long-running kernels improve PIM performance ~5.5x under concurrent
+  memory-intensive CPU execution — §I contribution 4;
+* batch splitting keeps StepStone ahead of the CPU well past its batch-32
+  saturation point (the §V-B "until N = 384" argument for BERT's MLP).
+"""
+
+from __future__ import annotations
+
+from repro.colocation.contention import colocation_speedup
+from repro.colocation.traffic import SPEC_MIX
+from repro.core.config import StepStoneConfig
+from repro.core.executor import execute_plan
+from repro.core.gemm import GemmShape, plan_gemm
+from repro.experiments.common import ExperimentResult
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+from repro.serving.scheduler import BatchServer
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    res = ExperimentResult(
+        experiment_id="claims",
+        title="Headline claims (§I contributions, §V-B batch splitting)",
+        paper_reference="§I; §V-B; §V-G",
+    )
+    cfg = StepStoneConfig.default()
+    sky = make_skylake()
+
+    # ---- Claim 1: StepStone vs Chopim end to end (35-55%). --------------
+    # The §I figure is the end-to-end STP-over-eCHO gain; the paper's own
+    # Fig. 8 bars give 32-59% across the four models, which is what we
+    # measure here.
+    from repro.models.inference import InferenceEngine, all_models
+
+    engine = InferenceEngine()
+    models = all_models()
+    if fast:
+        models = {"DLRM": models["DLRM"]}
+    flow_gains = []
+    for name, spec in models.items():
+        stp_r = engine.run(spec, "stp")
+        echo_r = engine.run(spec, "echo")
+        gain = (echo_r.total_s - stp_r.total_s) / stp_r.total_s
+        flow_gains.append(gain)
+        res.add(claim="flow-vs-chopim", config=name, improvement_pct=100 * gain)
+    res.check(
+        "StepStone improves on Chopim end to end by ~35-55% (paper band)",
+        all(0.20 <= g <= 0.80 for g in flow_gains),
+    )
+
+    # ---- Claim 2: DMA-accelerated localization/reduction (~40%). -------
+    # Same plan, flows differing only in who moves the data.
+    dma_gains = []
+    for m, k, n in ([(1024, 4096, 16)] if fast else [(1024, 4096, 16), (8192, 2048, 8)]):
+        plan = plan_gemm(cfg, sky, GemmShape(m, k, n), PimLevel.BANKGROUP)
+        accel = execute_plan(cfg, plan, flow="stepstone")
+        # CPU-driven loc/red but keep the coarse kernels: compare phase sums.
+        cpu_side = execute_plan(cfg, plan, flow="echo")
+        overhead_accel = accel.breakdown.localization + accel.breakdown.reduction
+        overhead_cpu = cpu_side.breakdown.localization + cpu_side.breakdown.reduction
+        gain = (cpu_side.breakdown.total - accel.breakdown.total) / accel.breakdown.total
+        dma_gains.append(gain)
+        res.add(
+            claim="dma-loc-red",
+            config=f"{m}x{k} N={n}",
+            accel_overhead=overhead_accel,
+            cpu_overhead=overhead_cpu,
+            improvement_pct=100 * gain,
+        )
+    res.check(
+        "DMA loc/red acceleration gives a double-digit-% win (paper: up to 40%)",
+        any(0.10 <= g <= 0.9 for g in dma_gains),
+    )
+
+    # ---- Claim 3: long-running kernels under colocation (~5.5x). -------
+    u = SPEC_MIX()
+    colo = colocation_speedup(cfg, sky, GemmShape(16384, 1024, 4), PimLevel.BANKGROUP, u)
+    res.add(claim="long-kernels-colocated", config="16384x1024 BG", speedup=colo["speedup"])
+    res.check(
+        "long-running kernels ~5.5x under CPU colocation (paper: 5.5x)",
+        3.5 <= colo["speedup"] <= 7.5,
+    )
+
+    # ---- Claim 4: batch splitting break-even (§V-B). --------------------
+    srv = BatchServer()
+    be = srv.break_even_batch(1024, 4096, n_max=1024)
+    res.add(claim="split-break-even", config="1024x4096 (BERT MLP)", break_even_batch=be)
+    res.check(
+        "batch splitting keeps PIM ahead well past batch 32",
+        be >= 2 * srv.max_pim_batch,
+    )
+    res.note(
+        f"break-even batch {be} vs the paper's 384: the paper derives 384 "
+        "from a 12x STP-vs-CPU gap at batch 32, which contradicts its own "
+        "Fig. 6 (2.2-2.8x at batch 32); with the Fig. 6-consistent gap the "
+        "break-even lands near 96."
+    )
+    return res

@@ -1,0 +1,58 @@
+"""Command-line entry point: ``python -m repro.experiments [ids...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="stepstone-experiments",
+        description="Regenerate the paper's tables and figures (data series).",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        default=["all"],
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="reduced sweeps for smoke runs"
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each experiment's figure-shaped ASCII chart",
+    )
+    args = parser.parse_args(argv)
+    ids = sorted(EXPERIMENTS) if args.ids == ["all"] else args.ids
+    failed = []
+    for eid in ids:
+        t0 = time.time()
+        try:
+            result = run_experiment(eid, fast=args.fast)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(result.to_table())
+        if args.chart and result.chart:
+            print()
+            print(result.render_chart())
+        print(f"[{eid} finished in {time.time() - t0:.1f}s]\n")
+        if not result.all_checks_pass:
+            failed.append(eid)
+    if failed:
+        print(f"shape checks FAILED for: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Fig. 1: CPU/GPU roofline for bandwidth-bound inference GEMMs.
+
+Sweeps the batch dimension of a memory-resident 1024 x 4096 weight GEMM and
+reports operational intensity plus achieved GFLOP/s for: the CPU (weights in
+main memory), the GPU with weights in device memory, and the GPU with
+weights in host memory (PCIe staging).  The paper's claims: all three are
+bandwidth-bound for N <~ 32, and the host-memory GPU falls below the CPU at
+small batch.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cpu import CpuGemmModel
+from repro.baselines.gpu import GpuGemmModel
+from repro.experiments.common import ExperimentResult
+from repro.roofline.model import Roofline, gemm_operational_intensity
+from repro.workloads.gemm_specs import batch_sweep
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    res = ExperimentResult(
+        experiment_id="fig01",
+        title="Roofline: bandwidth-bound GEMMs on CPU and GPU",
+        paper_reference="Fig. 1; §II 'Bandwidth-bound GEMMs'",
+    )
+    cpu = CpuGemmModel()
+    gpu = GpuGemmModel()
+    cpu_roof = Roofline("cpu", cpu.config.peak_flops / 1e9, cpu.config.peak_bw_gbps)
+    gpu_roof = Roofline("gpu", gpu.config.peak_flops / 1e9, gpu.config.device_bw_gbps)
+    n_max = 64 if fast else 1024
+    for shape in batch_sweep(n_max=n_max):
+        oi = gemm_operational_intensity(shape)
+        res.add(
+            batch=shape.n,
+            oi_flops_per_byte=oi,
+            cpu_gflops=cpu.gflops(shape),
+            gpu_dev_gflops=gpu.gflops(shape, weights_in_device=True),
+            gpu_host_gflops=gpu.gflops(shape, weights_in_device=False),
+            cpu_roof_gflops=cpu_roof.attainable_gflops(oi),
+            gpu_roof_gflops=gpu_roof.attainable_gflops(oi),
+        )
+    rows = {r["batch"]: r for r in res.rows}
+    res.check(
+        "all platforms bandwidth-bound at batch<=32",
+        all(
+            rows[n]["cpu_gflops"] < 0.5 * cpu_roof.peak_gflops
+            and rows[n]["gpu_dev_gflops"] < 0.5 * gpu_roof.peak_gflops
+            for n in (1, 4, 16, 32)
+            if n in rows
+        ),
+    )
+    res.check(
+        "host-memory GPU below CPU at batch 1",
+        rows[1]["gpu_host_gflops"] < rows[1]["cpu_gflops"],
+    )
+    res.note(
+        "CPU/GPU points are analytic models calibrated to the paper's "
+        "reported ratios (see DESIGN.md substitutions)."
+    )
+    res.chart = {
+        "kind": "line",
+        "x_key": "oi_flops_per_byte",
+        "y_keys": ["cpu_gflops", "gpu_dev_gflops", "gpu_host_gflops"],
+    }
+    return res

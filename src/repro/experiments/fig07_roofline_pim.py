@@ -1,0 +1,83 @@
+"""Fig. 7: rooflines including StepStone-BG and -DV.
+
+Adds the two main-memory PIM levels to the Fig. 1 roofline: measured points
+come from the timing executor; rooflines use each level's aggregate internal
+bandwidth.  Paper claims checked: StepStone beats CPU/GPU-host at all
+reasonable batch sizes, beats even device-resident GPU for N <= 16, and the
+CPU/GPU only win at N >= ~256.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cpu import CpuGemmModel
+from repro.baselines.gpu import GpuGemmModel
+from repro.core.config import StepStoneConfig
+from repro.core.executor import execute_gemm
+from repro.core.gemm import GemmShape
+from repro.experiments.common import ExperimentResult
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+from repro.roofline.model import gemm_operational_intensity
+from repro.workloads.gemm_specs import batch_sweep
+
+__all__ = ["run"]
+
+
+def _pim_gflops(cfg, sky, shape, level) -> float:
+    r = execute_gemm(cfg, sky, shape, level)
+    return shape.flops / (r.breakdown.total / 1.2e9) / 1e9
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    res = ExperimentResult(
+        experiment_id="fig07",
+        title="Rooflines with StepStone-BG/DV (1024x4096 weights)",
+        paper_reference="Fig. 7; §V-A 'Throughput rooflines'",
+    )
+    cfg = StepStoneConfig.default()
+    sky = make_skylake()
+    cpu = CpuGemmModel()
+    gpu = GpuGemmModel()
+    n_max = 64 if fast else 512
+    for shape in batch_sweep(n_max=n_max):
+        row = dict(
+            batch=shape.n,
+            oi=gemm_operational_intensity(shape),
+            cpu_gflops=cpu.gflops(shape),
+            gpu_dev_gflops=gpu.gflops(shape, True),
+            gpu_host_gflops=gpu.gflops(shape, False),
+        )
+        for lvl, key in ((PimLevel.BANKGROUP, "bg_gflops"), (PimLevel.DEVICE, "dv_gflops")):
+            try:
+                row[key] = _pim_gflops(cfg, sky, shape, lvl)
+            except ValueError:
+                row[key] = float("nan")  # batch too large for scratchpad
+        row["stepstone_gflops"] = max(
+            v for k, v in row.items() if k in ("bg_gflops", "dv_gflops") and v == v
+        )
+        res.add(**row)
+    rows = {r["batch"]: r for r in res.rows}
+    res.check(
+        "StepStone beats CPU and host-GPU for all N<=32",
+        all(
+            rows[n]["stepstone_gflops"] > rows[n]["cpu_gflops"]
+            and rows[n]["stepstone_gflops"] > rows[n]["gpu_host_gflops"]
+            for n in (1, 2, 4, 8, 16, 32)
+        ),
+    )
+    res.check(
+        "StepStone beats device-resident GPU for N<=16",
+        all(rows[n]["stepstone_gflops"] > rows[n]["gpu_dev_gflops"] for n in (1, 4, 16)),
+    )
+    if not fast:
+        res.check(
+            "CPU/GPU overtake StepStone only at large batch (>=128)",
+            rows[256]["cpu_gflops"] > rows[256]["stepstone_gflops"]
+            and rows[32]["cpu_gflops"] < rows[32]["stepstone_gflops"],
+        )
+    res.chart = {
+        "kind": "line",
+        "x_key": "oi",
+        "y_keys": ["cpu_gflops", "gpu_dev_gflops", "bg_gflops", "dv_gflops"],
+    }
+    return res

@@ -1,0 +1,81 @@
+"""Fig. 10: parallelism vs. distribution-overhead tradeoff.
+
+All 16 bank-group PIMs vs. half of them (one pinned PIM-ID bit, §III-E),
+on small (512 x 2048, 2048 x 512) and large (1024 x 4096, 4096 x 1024)
+matrices, batches {16, 32}.  Paper claims: halving the PIMs halves
+localization/reduction but doubles arithmetic time — a win for small
+matrices and a loss (or wash) for large ones.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import StepStoneConfig
+from repro.core.executor import execute_gemm
+from repro.core.gemm import GemmShape
+from repro.experiments.common import ExperimentResult
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+
+__all__ = ["run"]
+
+_SMALL = ((512, 2048), (2048, 512))
+_LARGE = ((1024, 4096), (4096, 1024))
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    res = ExperimentResult(
+        experiment_id="fig10",
+        title="All vs half bank-group PIMs",
+        paper_reference="Fig. 10; §V-D",
+    )
+    cfg = StepStoneConfig.default()
+    sky = make_skylake()
+    batches = (16,) if fast else (16, 32)
+    wins = {}
+    for m, k in _SMALL + _LARGE:
+        for n in batches:
+            shape = GemmShape(m, k, n)
+            full = execute_gemm(cfg, sky, shape, PimLevel.BANKGROUP)
+            half = execute_gemm(cfg, sky, shape, PimLevel.BANKGROUP, pinned_id_bits=1)
+            wins[(m, k, n)] = half.breakdown.total < full.breakdown.total
+            for tag, r in (("all", full), ("half", half)):
+                b = r.breakdown
+                res.add(
+                    matrix=f"{m}x{k}",
+                    batch=n,
+                    pims=tag,
+                    gemm=b.gemm,
+                    fill_b=b.fill_b,
+                    fill_c=b.fill_c,
+                    drain_c=b.drain_c,
+                    localization=b.localization,
+                    reduction=b.reduction,
+                    total=b.total,
+                )
+    res.check(
+        "half PIMs win on small matrices",
+        all(wins[(m, k, n)] for (m, k) in _SMALL for n in batches),
+    )
+    res.check(
+        "full PIMs competitive on large matrices (GEMM-dominated)",
+        any(not wins[(m, k, n)] for (m, k) in _LARGE for n in batches),
+    )
+    halves = [r for r in res.rows if r["pims"] == "half"]
+    fulls = [r for r in res.rows if r["pims"] == "all"]
+    res.check(
+        "halving PIMs roughly halves localization+reduction",
+        all(
+            0.35 <= (h["localization"] + h["reduction"]) / (f["localization"] + f["reduction"]) <= 0.75
+            for h, f in zip(halves, fulls)
+        ),
+    )
+    res.check(
+        "halving PIMs roughly doubles arithmetic",
+        all(1.5 <= h["gemm"] / f["gemm"] <= 2.5 for h, f in zip(halves, fulls)),
+    )
+    res.chart = {
+        "kind": "stacked",
+        "category_key": "pims",
+        "component_keys": ["gemm", "fill_b", "fill_c", "drain_c", "localization", "reduction"],
+    }
+    return res

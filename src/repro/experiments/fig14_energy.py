@@ -1,0 +1,75 @@
+"""Fig. 14: power per DRAM device and energy per operation.
+
+StepStone-BG vs -DV for the 1024 x 4096 weight matrix at N in {1, 4, 16}.
+Paper claims checked: DRAM access power dominates SIMD power; BG is more
+energy-efficient than DV at small N (in-device I/O is cheap); as N grows the
+localization/reduction energy dominates and DV becomes the efficient choice.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import StepStoneConfig
+from repro.core.executor import execute_gemm
+from repro.core.gemm import GemmShape
+from repro.energy.model import EnergyModel
+from repro.experiments.common import ExperimentResult
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    res = ExperimentResult(
+        experiment_id="fig14",
+        title="Power per DRAM device and pJ/op (1024x4096)",
+        paper_reference="Fig. 14; §V-H",
+    )
+    cfg = StepStoneConfig.default()
+    sky = make_skylake()
+    em = EnergyModel()
+    batches = (1, 16) if fast else (1, 4, 16)
+    data = {}
+    for n in batches:
+        for lvl in (PimLevel.BANKGROUP, PimLevel.DEVICE):
+            r = execute_gemm(cfg, sky, GemmShape(1024, 4096, n), lvl)
+            e = em.evaluate(r)
+            data[(lvl, n)] = e
+            res.add(
+                level=lvl.short,
+                batch=n,
+                simd_j=e.simd_j,
+                scratchpad_j=e.scratchpad_j,
+                dram_j=e.dram_j,
+                loc_red_j=e.loc_red_j,
+                watts_per_device=e.watts_per_device,
+                pj_per_op=e.pj_per_op,
+            )
+    bg, dv = PimLevel.BANKGROUP, PimLevel.DEVICE
+    res.check(
+        "DRAM access energy dominates SIMD energy",
+        all(e.dram_j + e.loc_red_j > e.simd_j for e in data.values()),
+    )
+    res.check(
+        "BG more energy-efficient than DV at N=1",
+        data[(bg, 1)].pj_per_op < data[(dv, 1)].pj_per_op,
+    )
+    res.check(
+        "DV more energy-efficient than BG at N=16 (loc/red dominates)",
+        data[(dv, 16)].pj_per_op < data[(bg, 16)].pj_per_op,
+    )
+    res.check(
+        "loc/red energy share grows with N",
+        data[(bg, batches[-1])].loc_red_j / data[(bg, batches[-1])].total_j
+        > data[(bg, 1)].loc_red_j / data[(bg, 1)].total_j,
+    )
+    res.check(
+        "per-device power in a plausible DRAM envelope (<2 W)",
+        all(e.watts_per_device < 2.0 for e in data.values()),
+    )
+    res.chart = {
+        "kind": "stacked",
+        "category_key": "level",
+        "component_keys": ["simd_j", "scratchpad_j", "dram_j", "loc_red_j"],
+    }
+    return res

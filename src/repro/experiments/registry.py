@@ -1,0 +1,51 @@
+"""Experiment registry: id -> runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments import (
+    ablations,
+    claims,
+    fig01_roofline,
+    tab01_workloads,
+    fig06_latency,
+    fig07_roofline_pim,
+    fig08_end_to_end,
+    fig09_agen,
+    fig10_parallelism,
+    fig11_mapping,
+    fig12_scratchpad,
+    fig13_colocation,
+    fig14_energy,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig01": fig01_roofline.run,
+    "tab01": tab01_workloads.run,
+    "fig06": fig06_latency.run,
+    "fig07": fig07_roofline_pim.run,
+    "fig08": fig08_end_to_end.run,
+    "fig09": fig09_agen.run,
+    "fig10": fig10_parallelism.run,
+    "fig11": fig11_mapping.run,
+    "fig12": fig12_scratchpad.run,
+    "fig13": fig13_colocation.run,
+    "fig14": fig14_energy.run,
+    "claims": claims.run,
+    "ablations": ablations.run,
+}
+
+
+def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig06"``)."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from exc
+    return runner(fast=fast)

@@ -1,0 +1,54 @@
+"""Table I workloads: StepStone latency for every common inference GEMM.
+
+Not a paper *result* table per se (Table I lists the shapes), but this
+runner exercises every Table I GEMM through the scheduler, reporting the
+chosen PIM configuration and latency — the per-shape behaviour that the
+rest of the evaluation builds on.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cpu import CpuGemmModel
+from repro.core.config import StepStoneConfig
+from repro.core.scheduler import choose_execution
+from repro.experiments.common import ExperimentResult
+from repro.mapping.presets import make_skylake
+from repro.workloads.gemm_specs import TABLE1_GEMMS
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    res = ExperimentResult(
+        experiment_id="tab01",
+        title="Table I GEMMs through the StepStone scheduler",
+        paper_reference="Table I; §III-E level selection",
+    )
+    cfg = StepStoneConfig.default()
+    sky = make_skylake()
+    cpu = CpuGemmModel()
+    batch = 4
+    for entry in TABLE1_GEMMS:
+        shape = entry.shape(min(batch, entry.batch_range[1]))
+        choice = choose_execution(cfg, sky, shape)
+        cpu_cycles = cpu.gemm_cycles(shape)
+        res.add(
+            model=entry.model,
+            layer=entry.layer,
+            weights=f"{entry.m}x{entry.k}",
+            batch=shape.n,
+            chosen=choice.level.short + (f"/half^{choice.pinned_id_bits}" if choice.pinned_id_bits else ""),
+            pim_cycles=choice.cycles,
+            cpu_cycles=cpu_cycles,
+            speedup_vs_cpu=cpu_cycles / choice.cycles,
+        )
+    big = [r for r in res.rows if r["weights"] in ("4096x1024", "1024x4096", "6400x1600", "512x2560")]
+    res.check(
+        "PIM wins on every large memory-resident GEMM",
+        all(r["speedup_vs_cpu"] > 1.0 for r in big),
+    )
+    res.check(
+        "tiny layers may stay on CPU or subset PIMs",
+        any(r["speedup_vs_cpu"] < 1.0 or "half" in r["chosen"] for r in res.rows),
+    )
+    return res

@@ -1,0 +1,40 @@
+"""XOR-based DRAM address mapping: representation, presets, and analysis.
+
+The CPU distributes consecutive cache blocks across channels/ranks/bank-groups
+with XOR hash functions (DRAMA-style).  Every output coordinate bit is the
+parity of the physical address ANDed with a mask, i.e. the mapping is linear
+over GF(2).  StepStone's block-grouping and address generation both derive
+directly from these masks.
+"""
+
+from repro.mapping.xor_mapping import DRAMGeometry, PimLevel, XORAddressMapping
+from repro.mapping.presets import (
+    ADDRESS_MAPPINGS,
+    mapping_by_id,
+    make_exynos_like,
+    make_haswell_like,
+    make_ivybridge_like,
+    make_sandybridge_like,
+    make_skylake,
+    make_toy_mapping,
+    pae_randomized,
+)
+from repro.mapping.analysis import BlockGrouping, FootprintAnalysis, analyze_footprint
+
+__all__ = [
+    "DRAMGeometry",
+    "PimLevel",
+    "XORAddressMapping",
+    "ADDRESS_MAPPINGS",
+    "mapping_by_id",
+    "make_skylake",
+    "make_exynos_like",
+    "make_haswell_like",
+    "make_ivybridge_like",
+    "make_sandybridge_like",
+    "make_toy_mapping",
+    "pae_randomized",
+    "BlockGrouping",
+    "FootprintAnalysis",
+    "analyze_footprint",
+]

@@ -1,0 +1,28 @@
+"""End-to-end DL inference models (Table II) and the inference engine."""
+
+from repro.models.layers import CpuOp, GemmInvocation, ModelSpec, pow2_partition
+from repro.models.dlrm import make_dlrm_rm3
+from repro.models.bert import make_bert
+from repro.models.gpt2 import make_gpt2
+from repro.models.xlm import make_xlm
+from repro.models.inference import (
+    BACKENDS,
+    InferenceEngine,
+    InferenceResult,
+    all_models,
+)
+
+__all__ = [
+    "CpuOp",
+    "GemmInvocation",
+    "ModelSpec",
+    "pow2_partition",
+    "make_dlrm_rm3",
+    "make_bert",
+    "make_gpt2",
+    "make_xlm",
+    "BACKENDS",
+    "InferenceEngine",
+    "InferenceResult",
+    "all_models",
+]

@@ -1,0 +1,36 @@
+"""BERT-large text classification (Table II): 24 blocks, MLP 1024-4096-1024,
+16 heads, sequence length 8, batch 4.
+
+After tensor reshaping the FC activation dimension is N = batch x seq = 32
+for every FC layer (§V-B), which is why BERT leans on StepStone-DV.
+"""
+
+from __future__ import annotations
+
+from repro.core.gemm import GemmShape
+from repro.models.layers import CpuOp, GemmInvocation, ModelSpec, attention_cpu_ops
+
+__all__ = ["make_bert"]
+
+
+def make_bert(batch: int = 4, seq_len: int = 8, blocks: int = 24) -> ModelSpec:
+    d_model = 1024
+    d_ff = 4096
+    heads = 16
+    n = batch * seq_len  # activation columns after reshape
+    gemms = (
+        # Q, K, V and attention-output projections: 1024 x 1024.
+        GemmInvocation("proj-qkv", GemmShape(d_model, d_model, n), count=3 * blocks),
+        GemmInvocation("proj-out", GemmShape(d_model, d_model, n), count=blocks),
+        # MLP: 1024 -> 4096 -> 1024.
+        GemmInvocation("mlp-up", GemmShape(d_ff, d_model, n), count=blocks),
+        GemmInvocation("mlp-down", GemmShape(d_model, d_ff, n), count=blocks),
+        # WNLI classification head (2 classes) — tiny, lands on the CPU.
+        GemmInvocation("classifier", GemmShape(2, d_model, batch), count=1),
+    )
+    cpu_ops = tuple(
+        attention_cpu_ops("bert", blocks, batch, heads, seq_len, d_model // heads, d_model)
+    ) + (
+        CpuOp("bert/embed+pool", 0.0, 4.0 * batch * seq_len * d_model * 4, count=1),
+    )
+    return ModelSpec(name="BERT", gemms=gemms, cpu_ops=cpu_ops, batch_size=batch)

@@ -1,0 +1,39 @@
+"""DLRM RM3 (Table II): Bottom MLP 2560-512-32, Top MLP 512-128-1, batch 4.
+
+The paper notes DLRM's execution time is dominated by a single FC layer
+(92%) — the 2560 -> 512 bottom-MLP GEMM — with embedding lookups and feature
+interaction staying on the CPU (CPU_Other).
+"""
+
+from __future__ import annotations
+
+from repro.core.gemm import GemmShape
+from repro.models.layers import CpuOp, GemmInvocation, ModelSpec
+
+__all__ = ["make_dlrm_rm3"]
+
+
+def make_dlrm_rm3(batch: int = 4) -> ModelSpec:
+    """Build the RM3-class recommendation model of Table II."""
+    gemms = (
+        # Bottom MLP: 2560 -> 512 -> 32 (weights are [out x in]).
+        GemmInvocation("bottom-fc1", GemmShape(512, 2560, batch)),
+        GemmInvocation("bottom-fc2", GemmShape(32, 512, batch)),
+        # Top MLP operates on the interaction output: 512 -> 128 -> 1.
+        GemmInvocation("top-fc1", GemmShape(128, 512, batch)),
+        GemmInvocation("top-fc2", GemmShape(1, 128, batch)),
+    )
+    # RM3 is MLP-heavy (vs. the embedding-heavy RM1/RM2 classes): a modest
+    # number of embedding-table gathers plus the pairwise feature
+    # interaction, both CPU-resident.
+    n_tables = 10
+    emb_dim = 64
+    lookups_per_table = 20
+    emb_bytes = 4.0 * batch * n_tables * lookups_per_table * emb_dim
+    interact_flops = 2.0 * batch * (n_tables + 1) ** 2 * emb_dim
+    cpu_ops = (
+        CpuOp("embedding-gather", 0.0, emb_bytes * 2, count=1),
+        CpuOp("feature-interaction", interact_flops, emb_bytes, count=1),
+        CpuOp("sigmoid+concat", 10.0 * batch, 4.0 * batch * 512 * 2, count=1),
+    )
+    return ModelSpec(name="DLRM", gemms=gemms, cpu_ops=cpu_ops, batch_size=batch)

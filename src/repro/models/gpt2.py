@@ -1,0 +1,42 @@
+"""GPT2-XL text generation (Table II): 48 blocks, MLP 1600-6400-1600,
+projection 1600 x 1600, sequence length 8, batch 4.
+
+Autoregressive generation processes one new token per step with a KV cache,
+so each of the 8 generated tokens runs every FC layer at N = batch — the
+small-N regime where StepStone-BG shines (§V-B: "GPT2 shows a similar trend
+[to DLRM] but the gaps are greater due to a larger weight matrix").
+The non-power-of-two 1600/6400 dimensions exercise the §III fn. 2
+partitioning path.
+"""
+
+from __future__ import annotations
+
+from repro.core.gemm import GemmShape
+from repro.models.layers import CpuOp, GemmInvocation, ModelSpec, attention_cpu_ops
+
+__all__ = ["make_gpt2"]
+
+
+def make_gpt2(batch: int = 4, gen_tokens: int = 8, blocks: int = 48) -> ModelSpec:
+    d_model = 1600
+    d_ff = 6400
+    heads = 25
+    n = batch  # one token per step, KV-cached
+    per_step = blocks
+    total = per_step * gen_tokens
+    gemms = (
+        GemmInvocation("proj-qkv", GemmShape(d_model, d_model, n), count=3 * total),
+        GemmInvocation("proj-out", GemmShape(d_model, d_model, n), count=total),
+        GemmInvocation("mlp-up", GemmShape(d_ff, d_model, n), count=total),
+        GemmInvocation("mlp-down", GemmShape(d_model, d_ff, n), count=total),
+    )
+    cpu_ops = tuple(
+        op
+        for step in range(gen_tokens)
+        for op in attention_cpu_ops(
+            f"gpt2/t{step}", blocks, batch, heads, step + 1, d_model // heads, d_model
+        )
+    ) + (
+        CpuOp("gpt2/sampling", 2.0 * batch * 50257, 4.0 * batch * 50257 * 2, count=gen_tokens),
+    )
+    return ModelSpec(name="GPT2", gemms=gemms, cpu_ops=cpu_ops, batch_size=batch)

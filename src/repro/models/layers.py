@@ -1,0 +1,126 @@
+"""Model building blocks: GEMM invocations and CPU-resident ops.
+
+A model is a bag of *GEMM invocations* (the FC/projection layers StepStone
+accelerates) plus *CPU ops* (everything Fig. 8 files under CPU_Other:
+embedding lookups, batched attention GEMMs, softmax, GELU, layer norm,
+concatenation/reshape).  CPU ops are modelled by their FLOP and byte counts
+against the calibrated CPU parameters plus a per-kernel dispatch overhead —
+they are small but numerous, which is exactly their role in the paper's
+end-to-end stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.baselines.cpu import CpuConfig, XEON_8280
+from repro.core.gemm import GemmShape
+
+__all__ = ["GemmInvocation", "CpuOp", "ModelSpec", "pow2_partition"]
+
+
+@dataclass(frozen=True)
+class GemmInvocation:
+    """One FC/projection GEMM, repeated ``count`` times per inference."""
+
+    name: str
+    shape: GemmShape
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("count must be positive")
+
+
+@dataclass(frozen=True)
+class CpuOp:
+    """A CPU-resident op modelled by its arithmetic and traffic volume."""
+
+    name: str
+    flops: float
+    bytes_moved: float
+    count: int = 1
+
+    def seconds(self, cpu: CpuConfig = XEON_8280) -> float:
+        compute = self.flops / (cpu.peak_flops * 0.25)  # small-kernel efficiency
+        mem = self.bytes_moved / (cpu.peak_bw_gbps * 1e9 * 0.5)
+        return self.count * (max(compute, mem) + cpu.overhead_s)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A complete inference workload."""
+
+    name: str
+    gemms: Tuple[GemmInvocation, ...]
+    cpu_ops: Tuple[CpuOp, ...] = ()
+    batch_size: int = 4
+
+    @property
+    def total_gemm_flops(self) -> float:
+        return sum(g.shape.flops * g.count for g in self.gemms)
+
+    @property
+    def total_weight_bytes(self) -> float:
+        return sum(g.shape.weight_bytes * g.count for g in self.gemms)
+
+    def cpu_other_seconds(self, cpu: CpuConfig = XEON_8280) -> float:
+        return sum(op.seconds(cpu) for op in self.cpu_ops)
+
+
+def pow2_partition(shape: GemmShape, min_dim: int = 16) -> List[GemmShape]:
+    """Decompose a GEMM with non-power-of-two M/K into power-of-two tiles.
+
+    The paper (§III fn. 2) pads or partitions; partitioning is the
+    cost-faithful choice for shapes like GPT2's 1600/6400 dimensions (binary
+    decomposition: 1600 -> 1024 + 512 + 64).  Dimensions below ``min_dim``
+    round up instead of splitting further.
+    """
+
+    def split(x: int) -> List[int]:
+        parts: List[int] = []
+        while x > 0:
+            p = 1 << (x.bit_length() - 1)
+            if x < min_dim:
+                parts.append(min_dim)
+                break
+            parts.append(p)
+            x -= p
+        return parts
+
+    return [
+        GemmShape(m, k, shape.n) for m in split(shape.m) for k in split(shape.k)
+    ]
+
+
+def attention_cpu_ops(
+    name: str,
+    blocks: int,
+    batch: int,
+    heads: int,
+    seq: int,
+    head_dim: int,
+    d_model: int,
+) -> List[CpuOp]:
+    """CPU_Other ops of one transformer stack (batched GEMMs, softmax, etc.).
+
+    These ops stay on the CPU in every Fig. 8 configuration: per-head
+    attention score/context batched GEMMs (tiny, cache-resident), softmax,
+    GELU on the MLP hidden activations, two layer-norms, and the residual
+    reshape/stack data movement.
+    """
+    scores_flops = 2.0 * batch * heads * seq * seq * head_dim
+    softmax_bytes = 4.0 * batch * heads * seq * seq * 3
+    context_flops = 2.0 * batch * heads * seq * seq * head_dim
+    gelu_bytes = 4.0 * batch * seq * 4 * d_model * 2
+    norm_bytes = 4.0 * batch * seq * d_model * 4
+    reorg_bytes = 4.0 * batch * seq * d_model * 4
+    return [
+        CpuOp(f"{name}/attn-scores", scores_flops, softmax_bytes, count=blocks),
+        CpuOp(f"{name}/attn-context", context_flops, softmax_bytes, count=blocks),
+        CpuOp(f"{name}/softmax", 5.0 * batch * heads * seq * seq, softmax_bytes, count=blocks),
+        CpuOp(f"{name}/gelu", 8.0 * batch * seq * 4 * d_model, gelu_bytes, count=blocks),
+        CpuOp(f"{name}/layernorm", 5.0 * batch * seq * d_model, norm_bytes, count=2 * blocks),
+        CpuOp(f"{name}/reorg", 0.0, reorg_bytes, count=blocks),
+    ]

@@ -1,0 +1,53 @@
+"""XLM text generation (Table II): 12 blocks, MLP 2048-8192-2048, batch 4.
+
+XLM re-processes the whole growing sequence each iteration: the sequence
+length starts at 1 and grows to 8, so the FC activation dimension is
+N = batch x current_length = 4, 8, ..., 32.  This is the workload the paper
+uses to motivate *dynamic* PIM-level selection: BG-level PIMs win while N is
+small, then execution switches to DV-level once arithmetic saturates
+(§V-B; also the multi-layout problem of §II for replication-based PIMs).
+"""
+
+from __future__ import annotations
+
+from repro.core.gemm import GemmShape
+from repro.models.layers import CpuOp, GemmInvocation, ModelSpec, attention_cpu_ops
+
+__all__ = ["make_xlm"]
+
+
+def make_xlm(batch: int = 4, max_len: int = 8, blocks: int = 12) -> ModelSpec:
+    d_model = 2048
+    d_ff = 8192
+    heads = 16
+    gemms = []
+    cpu_ops = []
+    for step in range(1, max_len + 1):
+        n = batch * step  # whole sequence re-processed, no KV cache
+        gemms.extend(
+            [
+                GemmInvocation(
+                    f"proj-qkv/len{step}", GemmShape(d_model, d_model, n), count=3 * blocks
+                ),
+                GemmInvocation(
+                    f"proj-out/len{step}", GemmShape(d_model, d_model, n), count=blocks
+                ),
+                GemmInvocation(
+                    f"mlp-up/len{step}", GemmShape(d_ff, d_model, n), count=blocks
+                ),
+                GemmInvocation(
+                    f"mlp-down/len{step}", GemmShape(d_model, d_ff, n), count=blocks
+                ),
+            ]
+        )
+        cpu_ops.extend(
+            attention_cpu_ops(
+                f"xlm/len{step}", blocks, batch, heads, step, d_model // heads, d_model
+            )
+        )
+    cpu_ops.append(
+        CpuOp("xlm/sampling", 2.0 * batch * 95000, 4.0 * batch * 95000 * 2, count=max_len)
+    )
+    return ModelSpec(
+        name="XLM", gemms=tuple(gemms), cpu_ops=tuple(cpu_ops), batch_size=batch
+    )

@@ -1,0 +1,27 @@
+"""OS memory-management substrate: colored frame allocation + translation.
+
+StepStone requires weight matrices to be physically contiguous and aligned
+so the XOR mapping's striping is predictable, and PIM subsetting requires
+*coloring* — keeping chosen PIM-ID bits constant across an allocation
+(§III-E, building on Chopim's coloring interface [9]).  The PIM controller
+then needs only infrequent address translation because regions are
+contiguous (§IV).  This package implements that substrate: a physical frame
+allocator with color constraints, a region registry, and the controller's
+translation engine.
+"""
+
+from repro.osmem.allocator import (
+    AllocationError,
+    ColorConstraint,
+    ColoredFrameAllocator,
+    Region,
+)
+from repro.osmem.translation import TranslationEngine
+
+__all__ = [
+    "AllocationError",
+    "ColorConstraint",
+    "ColoredFrameAllocator",
+    "Region",
+    "TranslationEngine",
+]

@@ -1,0 +1,330 @@
+"""Colored physical-frame allocation for PIM-aligned matrices (§III-E).
+
+StepStone's allocator requirements, as the paper states them:
+
+1. **Contiguity + alignment** — a weight matrix occupies a contiguous,
+   naturally-aligned physical range so its footprint bits line up with the
+   XOR mapping (what :class:`~repro.mapping.analysis.FootprintAnalysis`
+   assumes).
+2. **Consistent chunked mappings** — when full contiguity is not available,
+   the matrix may be built from power-of-two *chunks* (the paper's "32 KiB
+   granularity rather than the minimum 4 KiB"), provided every chunk
+   presents the same offset->PIM striping, i.e. contiguous virtual
+   addresses "remain aligned in the DRAM space".
+3. **Coloring for subsetting** — executing on a subset of PIMs requires
+   chosen PIM-ID bits to be *constant* over the whole matrix.  An ID bit is
+   the XOR of several address bits; within a chunk the low (offset) bits
+   vary freely, so an ID bit is pinnable **iff none of its feeding bits lie
+   below the chunk granularity** — those above are frame-number bits the OS
+   can color (Chopim's coloring interface [9]).  Under the Skylake mapping
+   with 32 KiB chunks, BG1 (a15^a19) and RK (a18^a22) are pinnable while
+   BG0 (a7^a14) and CH (fed by a8/a9/a12/a13) are offset-determined.
+
+`ColoredFrameAllocator` implements all three: contiguous aligned
+allocation, chunked allocation with per-chunk color filtering, and the
+pinnability query the scheduler consults before requesting subsetting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.mapping.xor_mapping import PimLevel, XORAddressMapping
+from repro.utils.bits import bits_of_mask, parity
+
+__all__ = ["AllocationError", "ColorConstraint", "Region", "ColoredFrameAllocator"]
+
+PAGE_BYTES = 4096
+
+
+class AllocationError(RuntimeError):
+    """Raised when no suitable physical range exists."""
+
+
+@dataclass(frozen=True)
+class ColorConstraint:
+    """Pin specific PIM-ID bits at *level* to given values.
+
+    ``bit_values`` maps ID-bit index (LSB = BG0 under the paper's ordering)
+    to the required constant value (0/1).
+    """
+
+    level: PimLevel
+    bit_values: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for idx, val in self.bit_values:
+            if idx < 0 or val not in (0, 1):
+                raise ValueError(f"invalid pinned bit ({idx}, {val})")
+
+    @staticmethod
+    def pin(level: PimLevel, **bits: int) -> "ColorConstraint":
+        """Convenience: ``ColorConstraint.pin(level, b1=0, b2=1)``."""
+        return ColorConstraint(
+            level, tuple((int(k[1:]), v) for k, v in sorted(bits.items()))
+        )
+
+
+@dataclass(frozen=True)
+class Region:
+    """An allocated physical region (possibly chunked)."""
+
+    name: str
+    size: int
+    chunks: Tuple[int, ...]  # physical base of each chunk, virtual order
+    chunk_bytes: int
+    constraint: Optional[ColorConstraint] = None
+
+    @property
+    def base(self) -> int:
+        return self.chunks[0]
+
+    @property
+    def contiguous(self) -> bool:
+        return all(
+            b == self.chunks[0] + i * self.chunk_bytes
+            for i, b in enumerate(self.chunks)
+        )
+
+    def translate(self, offset: int) -> int:
+        """Virtual-offset -> physical address."""
+        if not 0 <= offset < self.size:
+            raise ValueError(f"offset {offset:#x} outside region of {self.size:#x}")
+        idx, within = divmod(offset, self.chunk_bytes)
+        return self.chunks[idx] + within
+
+
+class ColoredFrameAllocator:
+    """First-fit allocator over the physical space of one mapping."""
+
+    def __init__(self, mapping: XORAddressMapping, reserve_low: int = 0) -> None:
+        self.mapping = mapping
+        self.capacity = mapping.geometry.capacity_bytes
+        if reserve_low % PAGE_BYTES:
+            raise ValueError("reserve_low must be page aligned")
+        self._free: List[Tuple[int, int]] = [(reserve_low, self.capacity)]
+        self._regions: Dict[str, Region] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def regions(self) -> Dict[str, Region]:
+        return dict(self._regions)
+
+    def free_bytes(self) -> int:
+        return sum(end - start for start, end in self._free)
+
+    def pinnable_id_bits(self, level: PimLevel, chunk_bytes: int) -> List[int]:
+        """ID-bit indices coloring can pin at this chunk granularity.
+
+        A bit is pinnable iff none of its feeding address bits fall below
+        ``log2(chunk_bytes)`` (offset bits vary within every chunk).
+        """
+        if chunk_bytes & (chunk_bytes - 1) or chunk_bytes < PAGE_BYTES:
+            raise ValueError("chunk_bytes must be a power of two >= one page")
+        lo = chunk_bytes.bit_length() - 1
+        out = []
+        for i, m in enumerate(self.mapping.pim_id_masks(level)):
+            if bits_of_mask(m)[0] >= lo:
+                out.append(i)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+
+    def allocate(self, name: str, size: int) -> Region:
+        """Contiguous, naturally-aligned allocation (the default path)."""
+        if name in self._regions:
+            raise AllocationError(f"region {name!r} already exists")
+        if size <= 0:
+            raise AllocationError("size must be positive")
+        size = max(size, PAGE_BYTES)
+        align = 1 << (size - 1).bit_length()
+        base = self._find_block(align, size, None, None)
+        if base is None:
+            raise AllocationError(f"no {size}-byte contiguous range available")
+        self._carve(base, size)
+        region = Region(name=name, size=size, chunks=(base,), chunk_bytes=size)
+        self._regions[name] = region
+        return region
+
+    def allocate_chunked(
+        self,
+        name: str,
+        size: int,
+        chunk_bytes: int,
+        constraint: Optional[ColorConstraint] = None,
+    ) -> Region:
+        """Chunked allocation with optional PIM-ID coloring.
+
+        Every chunk base is chosen so (a) the pinned ID bits take their
+        required values and (b) all non-pinned ID bits receive the *same*
+        frame-bit contribution in every chunk, keeping the offset->PIM
+        striping identical across chunks (the §III-E alignment rule).
+        """
+        if name in self._regions:
+            raise AllocationError(f"region {name!r} already exists")
+        if chunk_bytes & (chunk_bytes - 1) or chunk_bytes < PAGE_BYTES:
+            raise AllocationError("chunk_bytes must be a power of two >= one page")
+        if size % chunk_bytes:
+            raise AllocationError("size must be a multiple of chunk_bytes")
+        if constraint is not None:
+            pinnable = set(self.pinnable_id_bits(constraint.level, chunk_bytes))
+            for idx, _ in constraint.bit_values:
+                if idx not in pinnable:
+                    raise AllocationError(
+                        f"PIM-ID bit {idx} is fed by offset bits below the "
+                        f"{chunk_bytes}-byte chunk and cannot be pinned"
+                    )
+        n_chunks = size // chunk_bytes
+        level = constraint.level if constraint is not None else PimLevel.BANKGROUP
+        masks = self.mapping.pim_id_masks(level)
+        hi_masks = [m & ~(chunk_bytes - 1) for m in masks]
+        pinned = dict(constraint.bit_values) if constraint is not None else {}
+        placed: List[int] = []
+        try:
+            for i in range(n_chunks):
+                # Target frame-bit parities for chunk i: pinned bits take
+                # their constant value; every other ID bit must follow the
+                # parity a *contiguous* allocation at virtual offset
+                # i*chunk_bytes would produce, so contiguous VAs "remain
+                # aligned in the DRAM space" (§III-E).
+                targets = []
+                for b, m_hi in enumerate(hi_masks):
+                    if b in pinned:
+                        targets.append(pinned[b])
+                    else:
+                        targets.append(parity((i * chunk_bytes) & m_hi))
+                base = self._find_block(
+                    chunk_bytes, chunk_bytes, hi_masks, tuple(targets)
+                )
+                if base is None:
+                    raise AllocationError(
+                        f"cannot place chunk {i} of {n_chunks} "
+                        "under the color constraint"
+                    )
+                self._carve(base, chunk_bytes)
+                placed.append(base)
+        except AllocationError:
+            for b in placed:
+                self._free.append((b, b + chunk_bytes))
+            self._coalesce()
+            raise
+        region = Region(
+            name=name,
+            size=size,
+            chunks=tuple(placed),
+            chunk_bytes=chunk_bytes,
+            constraint=constraint,
+        )
+        self._regions[name] = region
+        return region
+
+    def _find_block(
+        self,
+        align: int,
+        size: int,
+        hi_masks: Optional[List[int]] = None,
+        targets: Optional[Tuple[int, ...]] = None,
+    ) -> Optional[int]:
+        for start, end in self._free:
+            base = (start + align - 1) & ~(align - 1)
+            while base + size <= end:
+                if self._candidate_ok(base, hi_masks, targets):
+                    return base
+                base += align
+        return None
+
+    @staticmethod
+    def _candidate_ok(
+        base: int,
+        hi_masks: Optional[List[int]],
+        targets: Optional[Tuple[int, ...]],
+    ) -> bool:
+        if hi_masks is None or targets is None:
+            return True
+        for m, want in zip(hi_masks, targets):
+            if parity(base & m) != want:
+                return False
+        return True
+
+    def _carve(self, base: int, size: int) -> None:
+        for i, (start, end) in enumerate(self._free):
+            if start <= base and base + size <= end:
+                pieces = []
+                if start < base:
+                    pieces.append((start, base))
+                if base + size < end:
+                    pieces.append((base + size, end))
+                self._free[i : i + 1] = pieces
+                return
+        raise AllocationError("internal: carving outside free space")
+
+    def _coalesce(self) -> None:
+        self._free.sort()
+        merged: List[Tuple[int, int]] = []
+        for start, end in self._free:
+            if merged and merged[-1][1] == start:
+                merged[-1] = (merged[-1][0], end)
+            else:
+                merged.append((start, end))
+        self._free = merged
+
+    def release(self, name: str) -> None:
+        region = self._regions.pop(name, None)
+        if region is None:
+            raise AllocationError(f"unknown region {name!r}")
+        for b in region.chunks:
+            self._free.append((b, b + region.chunk_bytes))
+        self._coalesce()
+
+    # ------------------------------------------------------------------ #
+    # Validation helpers
+    # ------------------------------------------------------------------ #
+
+    def verify_pinning(self, region: Region, samples: int = 256) -> bool:
+        """Pinned ID bits are constant over every sampled virtual offset."""
+        if region.constraint is None:
+            return True
+        c = region.constraint
+        masks = self.mapping.pim_id_masks(c.level)
+        stride = max(PAGE_BYTES, region.size // samples)
+        for off in range(0, region.size, stride):
+            pa = region.translate(off)
+            for idx, val in c.bit_values:
+                if parity(pa & masks[idx]) != val:
+                    return False
+        return True
+
+    def verify_consistent_striping(self, region: Region, level: PimLevel) -> bool:
+        """Chunks present the striping of an ideal contiguous allocation.
+
+        For every chunk i, the offset->PIM map must equal what a contiguous
+        aligned allocation would produce at virtual offset ``i * chunk``,
+        with pinned ID bits overridden to their constant values — the
+        §III-E "contiguous virtual addresses remain aligned in the DRAM
+        space" requirement.
+        """
+        import numpy as np
+
+        offs = np.arange(
+            0, region.chunk_bytes, self.mapping.geometry.block_bytes, dtype=np.uint64
+        )
+        pinned = dict(region.constraint.bit_values) if region.constraint else {}
+        for i, b in enumerate(region.chunks):
+            actual = self.mapping.pim_ids(np.uint64(b) + offs, level)
+            expected = self.mapping.pim_ids(
+                np.uint64(i * region.chunk_bytes) + offs, level
+            )
+            for bit, val in pinned.items():
+                mask = np.uint64(1 << bit)
+                expected = np.where(
+                    val, expected | mask, expected & ~mask
+                ).astype(np.uint64)
+            if not np.array_equal(actual, expected):
+                return False
+        return True

@@ -1,0 +1,140 @@
+"""ASCII chart rendering for experiment rows.
+
+The paper's figures are stacked bars (Figs. 6, 8, 10, 11, 12, 14), grouped
+bars (Figs. 9, 13), and log-log rooflines (Figs. 1, 7).  These helpers
+render all three shapes in a terminal so ``python -m repro.experiments
+<id> --chart`` shows the figure, not just its table.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["stacked_bars", "grouped_bars", "line_plot"]
+
+_GLYPHS = "#=+*o%@&"
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e5 or abs(v) < 1e-2:
+        return f"{v:.2e}"
+    return f"{v:.2f}"
+
+
+def stacked_bars(
+    rows: Sequence[Dict[str, Any]],
+    category_key: str,
+    component_keys: Sequence[str],
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Horizontal stacked bars, one per row (Fig. 6/8-style).
+
+    Component magnitudes scale to the largest row total; every component
+    gets a distinct fill glyph, listed in the legend.
+    """
+    if not rows:
+        return "(no data)"
+    totals = [sum(float(r.get(k, 0.0) or 0.0) for k in component_keys) for r in rows]
+    peak = max(totals) or 1.0
+    label_w = max(len(str(r.get(category_key, ""))) for r in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={k}" for i, k in enumerate(component_keys)
+    )
+    lines.append(f"legend: {legend}")
+    for r, total in zip(rows, totals):
+        bar = ""
+        acc_cells = 0
+        acc_frac = 0.0
+        for i, k in enumerate(component_keys):
+            v = float(r.get(k, 0.0) or 0.0)
+            acc_frac += v / peak * width
+            cells = int(round(acc_frac)) - acc_cells
+            bar += _GLYPHS[i % len(_GLYPHS)] * max(0, cells)
+            acc_cells += max(0, cells)
+        label = str(r.get(category_key, "")).ljust(label_w)
+        lines.append(f"{label} |{bar.ljust(width)}| {_fmt(total)}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    rows: Sequence[Dict[str, Any]],
+    category_key: str,
+    value_key: str,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """One horizontal bar per row (Fig. 13-style speedup charts)."""
+    if not rows:
+        return "(no data)"
+    vals = [float(r.get(value_key, 0.0) or 0.0) for r in rows]
+    peak = max(vals) or 1.0
+    label_w = max(len(str(r.get(category_key, ""))) for r in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r, v in zip(rows, vals):
+        cells = int(round(v / peak * width))
+        label = str(r.get(category_key, "")).ljust(label_w)
+        lines.append(f"{label} |{('#' * cells).ljust(width)}| {_fmt(v)}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    rows: Sequence[Dict[str, Any]],
+    x_key: str,
+    y_keys: Sequence[str],
+    width: int = 64,
+    height: int = 20,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Scatter plot of several series on a shared (optionally log) grid —
+    the roofline shape of Figs. 1 and 7."""
+    if not rows:
+        return "(no data)"
+
+    def tx(v: float, log: bool) -> Optional[float]:
+        if v is None or (isinstance(v, float) and v != v):
+            return None
+        if log:
+            return math.log10(v) if v > 0 else None
+        return float(v)
+
+    pts = []
+    for si, yk in enumerate(y_keys):
+        for r in rows:
+            x = tx(float(r.get(x_key, 0.0) or 0.0), log_x)
+            yv = r.get(yk)
+            y = tx(float(yv), log_y) if yv is not None else None
+            if x is not None and y is not None:
+                pts.append((x, y, si))
+    if not pts:
+        return "(no plottable data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, si in pts:
+        col = int((x - x0) / xr * (width - 1))
+        row = height - 1 - int((y - y0) / yr * (height - 1))
+        grid[row][col] = _GLYPHS[si % len(_GLYPHS)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(f"{_GLYPHS[i % len(_GLYPHS)]}={k}" for i, k in enumerate(y_keys))
+    lines.append(f"legend: {legend}   (x: {x_key}{' log' if log_x else ''})")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)

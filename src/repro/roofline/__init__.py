@@ -1,0 +1,5 @@
+"""Roofline models for Figs. 1 and 7."""
+
+from repro.roofline.model import Roofline, RooflinePoint, gemm_operational_intensity
+
+__all__ = ["Roofline", "RooflinePoint", "gemm_operational_intensity"]

@@ -1,0 +1,71 @@
+"""Roofline arithmetic for the Figs. 1 and 7 plots.
+
+A roofline bounds achievable GFLOP/s by ``min(peak_flops, OI * bandwidth)``
+where OI is operational intensity (FLOPs per byte moved from the bounding
+memory level).  For the paper's GEMMs the bounding traffic is the
+memory-resident weight matrix plus the (much smaller) activations, so OI
+grows roughly linearly with batch size — which is why small-batch inference
+sits on the bandwidth-slanted part of the roof for every platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.core.gemm import GemmShape
+
+__all__ = ["Roofline", "RooflinePoint", "gemm_operational_intensity"]
+
+
+def gemm_operational_intensity(shape: GemmShape, weights_resident: bool = False) -> float:
+    """FLOPs per byte for C[m,n] = A[m,k] B[k,n].
+
+    ``weights_resident=True`` counts only activation traffic (weights cached)
+    — not used for the paper's scenarios but useful for sensitivity studies.
+    """
+    flops = shape.flops
+    act_bytes = 4.0 * (shape.k * shape.n + shape.m * shape.n)
+    bytes_moved = act_bytes if weights_resident else shape.weight_bytes + act_bytes
+    return flops / bytes_moved
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One measured/modelled point under a roofline."""
+
+    label: str
+    oi: float  # FLOPs/byte
+    gflops: float
+
+    @property
+    def bound(self) -> str:
+        return "memory" if self.gflops < 0.98 * self.oi * 1e9 else "unknown"
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A single platform roofline."""
+
+    name: str
+    peak_gflops: float
+    bandwidth_gbps: float
+
+    def attainable_gflops(self, oi: float) -> float:
+        """min(peak, OI x BW) — the classic roofline bound."""
+        if oi <= 0:
+            raise ValueError("operational intensity must be positive")
+        return min(self.peak_gflops, oi * self.bandwidth_gbps)
+
+    @property
+    def ridge_oi(self) -> float:
+        """OI at which the platform turns compute bound."""
+        return self.peak_gflops / self.bandwidth_gbps
+
+    def is_memory_bound(self, oi: float) -> bool:
+        return oi < self.ridge_oi
+
+    def sweep(self, ois: Iterable[float]) -> List[RooflinePoint]:
+        return [
+            RooflinePoint(self.name, oi, self.attainable_gflops(oi)) for oi in ois
+        ]

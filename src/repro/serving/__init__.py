@@ -1,0 +1,9 @@
+"""Query serving on a StepStone system: batch splitting and hybrid dispatch."""
+
+from repro.serving.scheduler import (
+    BatchServer,
+    HybridSplit,
+    ServingPoint,
+)
+
+__all__ = ["BatchServer", "HybridSplit", "ServingPoint"]

@@ -1,0 +1,160 @@
+"""Batch-level serving policies on top of the GEMM engines.
+
+The paper's §V-B observation: StepStone saturates around batch 32 (scratch-
+pad and SIMD limits), but larger request batches can be *split* into
+batch-32 GEMMs — "StepStone PIM outperforms the CPU until N = 12 x 32 =
+384" for BERT.  §I adds that the CPU stays free for "larger-batch and
+colocated tasks", which enables a *hybrid* dispatch: run part of a large
+batch on the CPU concurrently with the PIM sweep.
+
+This module implements both policies and the latency-constrained throughput
+search used by the §V-A claims.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.baselines.cpu import CpuGemmModel
+from repro.core.gemm import GemmShape
+from repro.core.scheduler import choose_execution
+from repro.core.system import StepStoneSystem
+
+__all__ = ["ServingPoint", "HybridSplit", "BatchServer"]
+
+_DRAM_HZ = 1.2e9
+
+
+@dataclass(frozen=True)
+class ServingPoint:
+    """Latency/throughput of serving one batch."""
+
+    batch: int
+    latency_s: float
+    backend: str
+
+    @property
+    def throughput(self) -> float:
+        return self.batch / self.latency_s
+
+
+@dataclass(frozen=True)
+class HybridSplit:
+    """A concurrent CPU+PIM split of one large batch."""
+
+    cpu_batch: int
+    pim_batch: int
+    latency_s: float
+
+    @property
+    def total(self) -> int:
+        return self.cpu_batch + self.pim_batch
+
+
+class BatchServer:
+    """Serving policies for one weight matrix on one StepStone system."""
+
+    def __init__(
+        self,
+        system: Optional[StepStoneSystem] = None,
+        cpu: Optional[CpuGemmModel] = None,
+        max_pim_batch: int = 32,
+    ) -> None:
+        if max_pim_batch <= 0:
+            raise ValueError("max_pim_batch must be positive")
+        self.system = system or StepStoneSystem.default()
+        self.cpu = cpu or CpuGemmModel()
+        self.max_pim_batch = max_pim_batch
+        self._chunk_cache: Dict[Tuple[int, int, int], float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Primitive latencies
+    # ------------------------------------------------------------------ #
+
+    def _pim_chunk_seconds(self, m: int, k: int, n: int) -> float:
+        key = (m, k, n)
+        hit = self._chunk_cache.get(key)
+        if hit is None:
+            choice = choose_execution(
+                self.system.config, self.system.mapping, GemmShape(m, k, n)
+            )
+            hit = choice.cycles / _DRAM_HZ
+            self._chunk_cache[key] = hit
+        return hit
+
+    def pim_latency(self, m: int, k: int, n: int) -> float:
+        """Latency of batch *n* on the PIMs, split into <=max_pim_batch
+        chunks executed back to back (the §V-B splitting policy)."""
+        full, rem = divmod(n, self.max_pim_batch)
+        t = full * self._pim_chunk_seconds(m, k, self.max_pim_batch)
+        if rem:
+            t += self._pim_chunk_seconds(m, k, rem)
+        return t
+
+    def cpu_latency(self, m: int, k: int, n: int) -> float:
+        return self.cpu.gemm_seconds(GemmShape(m, k, n))
+
+    def serve(self, m: int, k: int, n: int) -> ServingPoint:
+        """Best single-engine dispatch for one batch."""
+        pim = self.pim_latency(m, k, n)
+        cpu = self.cpu_latency(m, k, n)
+        if pim <= cpu:
+            return ServingPoint(batch=n, latency_s=pim, backend="pim")
+        return ServingPoint(batch=n, latency_s=cpu, backend="cpu")
+
+    # ------------------------------------------------------------------ #
+    # Paper-claim searches
+    # ------------------------------------------------------------------ #
+
+    def break_even_batch(self, m: int, k: int, n_max: int = 4096) -> int:
+        """Largest batch (multiple of max_pim_batch) where PIM still beats
+        the CPU — the §V-B "until N = 384" quantity for BERT's MLP."""
+        best = 0
+        n = self.max_pim_batch
+        while n <= n_max:
+            if self.pim_latency(m, k, n) < self.cpu_latency(m, k, n):
+                best = n
+            n += self.max_pim_batch
+        return best
+
+    def throughput_under_latency(
+        self, m: int, k: int, constraint_s: float, n_max: int = 1024
+    ) -> ServingPoint:
+        """Max-throughput batch meeting a latency constraint (§V-A)."""
+        best: Optional[ServingPoint] = None
+        n = 1
+        while n <= n_max:
+            for backend, t in (
+                ("pim", self.pim_latency(m, k, n)),
+                ("cpu", self.cpu_latency(m, k, n)),
+            ):
+                if t <= constraint_s:
+                    p = ServingPoint(batch=n, latency_s=t, backend=backend)
+                    if best is None or p.throughput > best.throughput:
+                        best = p
+            n *= 2
+        if best is None:
+            raise ValueError(f"no batch meets the {constraint_s:.2e}s constraint")
+        return best
+
+    def hybrid_split(self, m: int, k: int, n: int) -> HybridSplit:
+        """Split one large batch across CPU and PIMs running concurrently.
+
+        Searches CPU shares in PIM-chunk quanta and minimizes
+        ``max(t_cpu(share), t_pim(n - share))`` — the §I colocation benefit
+        expressed as a scheduling policy.
+        """
+        if n <= 0:
+            raise ValueError("batch must be positive")
+        best = HybridSplit(cpu_batch=0, pim_batch=n, latency_s=self.pim_latency(m, k, n))
+        step = self.max_pim_batch
+        for cpu_share in range(0, n + 1, step):
+            pim_share = n - cpu_share
+            t_cpu = self.cpu_latency(m, k, cpu_share) if cpu_share else 0.0
+            t_pim = self.pim_latency(m, k, pim_share) if pim_share else 0.0
+            t = max(t_cpu, t_pim)
+            if t < best.latency_s:
+                best = HybridSplit(cpu_batch=cpu_share, pim_batch=pim_share, latency_s=t)
+        return best

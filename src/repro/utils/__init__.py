@@ -1,0 +1,32 @@
+"""Shared low-level utilities: bit manipulation and unit helpers."""
+
+from repro.utils.bits import (
+    bit,
+    bits_of_mask,
+    extract_bits,
+    gather_bits,
+    lowest_set_bit,
+    mask_of_bits,
+    parity,
+    parity_u64,
+    scatter_bits,
+)
+from repro.utils.units import GiB, KiB, MiB, cycles_to_us, human_bytes, human_cycles
+
+__all__ = [
+    "bit",
+    "bits_of_mask",
+    "extract_bits",
+    "gather_bits",
+    "lowest_set_bit",
+    "mask_of_bits",
+    "parity",
+    "parity_u64",
+    "scatter_bits",
+    "GiB",
+    "KiB",
+    "MiB",
+    "cycles_to_us",
+    "human_bytes",
+    "human_cycles",
+]

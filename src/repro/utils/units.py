@@ -1,0 +1,51 @@
+"""Unit constants and human-readable formatting helpers."""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "CACHE_BLOCK_BYTES",
+    "WORD_BYTES",
+    "cycles_to_us",
+    "cycles_to_seconds",
+    "human_bytes",
+    "human_cycles",
+]
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Cache-block (DRAM burst) size in bytes; DDR4 BL8 on a 64-bit channel.
+CACHE_BLOCK_BYTES = 64
+#: fp32 word size; all GEMMs in the paper use single precision.
+WORD_BYTES = 4
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float = 1.2e9) -> float:
+    """Convert DRAM-clock cycles to seconds (default DDR4-2400: 1.2 GHz)."""
+    if clock_hz <= 0:
+        raise ValueError("clock_hz must be positive")
+    return cycles / clock_hz
+
+
+def cycles_to_us(cycles: float, clock_hz: float = 1.2e9) -> float:
+    """Convert DRAM-clock cycles to microseconds."""
+    return cycles_to_seconds(cycles, clock_hz) * 1e6
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count: ``human_bytes(3 * 1024**2) == '3.0 MiB'``."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_cycles(c: float) -> str:
+    """Format a cycle count in engineering notation (e.g. ``1.20e+06``)."""
+    return f"{c:.2e}"

@@ -1,0 +1,17 @@
+"""Workload definitions: Table I GEMM shapes and parameter sweeps."""
+
+from repro.workloads.gemm_specs import (
+    DEFAULT_WEIGHT_SHAPE,
+    TABLE1_GEMMS,
+    Table1Entry,
+    batch_sweep,
+    aspect_ratio_sweep,
+)
+
+__all__ = [
+    "DEFAULT_WEIGHT_SHAPE",
+    "TABLE1_GEMMS",
+    "Table1Entry",
+    "batch_sweep",
+    "aspect_ratio_sweep",
+]

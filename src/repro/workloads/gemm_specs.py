@@ -1,0 +1,75 @@
+"""Table I: common DL-inference GEMM dimensions, plus sweep generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.core.gemm import GemmShape
+
+__all__ = [
+    "Table1Entry",
+    "TABLE1_GEMMS",
+    "DEFAULT_WEIGHT_SHAPE",
+    "batch_sweep",
+    "aspect_ratio_sweep",
+]
+
+
+@dataclass(frozen=True)
+class Table1Entry:
+    """One row of Table I."""
+
+    model: str
+    layer: str
+    m: int  # weight rows (output features)
+    k: int  # weight cols (input features)
+    batch_range: Tuple[int, int]
+
+    def shape(self, n: int) -> GemmShape:
+        lo, hi = self.batch_range
+        if not lo <= n <= hi:
+            raise ValueError(f"batch {n} outside Table I range {self.batch_range}")
+        return GemmShape(self.m, self.k, n)
+
+
+#: Table I verbatim: weight matrices are [output x input].
+TABLE1_GEMMS: Tuple[Table1Entry, ...] = (
+    Table1Entry("BERT", "MLP", 4096, 1024, (1, 8)),
+    Table1Entry("BERT", "MLP", 1024, 4096, (1, 8)),
+    Table1Entry("BERT", "Projection", 1024, 1024, (1, 8)),
+    Table1Entry("GPT2", "MLP", 6400, 1600, (1, 8)),
+    Table1Entry("GPT2", "MLP", 1600, 6400, (1, 8)),
+    Table1Entry("GPT2", "Projection", 1600, 1600, (1, 8)),
+    Table1Entry("DLRM", "Bottom MLP", 512, 2560, (1, 256)),
+    Table1Entry("DLRM", "Bottom MLP", 32, 512, (1, 256)),
+    Table1Entry("DLRM", "Top MLP", 128, 512, (1, 256)),
+    Table1Entry("DLRM", "Top MLP", 1, 128, (1, 256)),
+)
+
+#: The paper's representative weight matrix (§IV "By default, 1024 x 4096").
+DEFAULT_WEIGHT_SHAPE: Tuple[int, int] = (1024, 4096)
+
+
+def batch_sweep(
+    m: int = DEFAULT_WEIGHT_SHAPE[0],
+    k: int = DEFAULT_WEIGHT_SHAPE[1],
+    n_min: int = 1,
+    n_max: int = 1024,
+) -> Iterator[GemmShape]:
+    """Powers-of-two batch sweep (the roofline x-axis of Figs. 1 and 7)."""
+    n = n_min
+    while n <= n_max:
+        yield GemmShape(m, k, n)
+        n *= 2
+
+
+def aspect_ratio_sweep(total_elems: int = 2**24, n: int = 4) -> List[GemmShape]:
+    """Fixed-size aspect-ratio sweep (Fig. 13): [2K,8K] ... [16K,1K]."""
+    shapes = []
+    m = 2048
+    while m <= 16384:
+        k = total_elems // m
+        shapes.append(GemmShape(m, k, n))
+        m *= 2
+    return shapes

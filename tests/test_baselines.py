@@ -1,0 +1,181 @@
+"""Tests for CPU / GPU / PEI / Chopim baselines and the scheduler."""
+
+import pytest
+
+from repro.baselines.chopim import echo_gemm, ncho_gemm
+from repro.baselines.cpu import CpuGemmModel, XEON_8280
+from repro.baselines.gpu import GpuGemmModel, TITAN_XP
+from repro.baselines.pei import pei_gemm
+from repro.core.config import StepStoneConfig
+from repro.core.executor import execute_gemm
+from repro.core.gemm import GemmShape
+from repro.core.scheduler import choose_execution
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return StepStoneConfig.default()
+
+
+@pytest.fixture(scope="module")
+def sky():
+    return make_skylake()
+
+
+class TestCpuModel:
+    def test_batch1_matches_12x_claim(self, cfg, sky):
+        """§V-A: CPU batch-1 latency ~12x StepStone-BG batch-1."""
+        cpu = CpuGemmModel()
+        shape = GemmShape(1024, 4096, 1)
+        cpu_cycles = cpu.gemm_cycles(shape)
+        bg = execute_gemm(cfg, sky, shape, PimLevel.BANKGROUP).breakdown.total
+        ratio = cpu_cycles / bg
+        assert 8.0 < ratio < 16.0
+
+    def test_batch32_about_1p2x_batch1(self):
+        """§I/§V-A: +20% latency budget admits batch 32 on the CPU."""
+        cpu = CpuGemmModel()
+        t1 = cpu.gemm_seconds(GemmShape(1024, 4096, 1))
+        t32 = cpu.gemm_seconds(GemmShape(1024, 4096, 32))
+        assert 1.05 < t32 / t1 < 1.45
+
+    def test_cpu_slower_than_stepstone_ch(self, cfg, sky):
+        """§V-A: measured CPU falls short of channel-level StepStone."""
+        cpu = CpuGemmModel()
+        shape = GemmShape(1024, 4096, 4)
+        ch = execute_gemm(cfg, sky, shape, PimLevel.CHANNEL).breakdown.total
+        assert cpu.gemm_cycles(shape) > ch
+
+    def test_cpu_overtakes_pim_by_batch256(self, cfg, sky):
+        """§V-B rooflines: CPU wins only at batch >= ~256."""
+        cpu = CpuGemmModel()
+
+        def pim_throughput(n):
+            best = min(
+                execute_gemm(cfg, sky, GemmShape(1024, 4096, n), lvl).breakdown.total
+                for lvl in (PimLevel.BANKGROUP, PimLevel.DEVICE)
+            )
+            return n / (best / 1.2e9)
+
+        def cpu_throughput(n):
+            return cpu.throughput_samples_per_s(GemmShape(1024, 4096, n))
+
+        assert pim_throughput(32) > cpu_throughput(32)
+        assert cpu_throughput(256) > pim_throughput(256)
+
+    def test_cache_resident_is_compute_bound(self):
+        cpu = CpuGemmModel()
+        s = GemmShape(1024, 4096, 8)
+        assert cpu.gemm_seconds(s, weights_in_memory=False) < cpu.gemm_seconds(s)
+
+    def test_peak_flops(self):
+        assert XEON_8280.peak_flops == pytest.approx(28 * 2.7e9 * 64)
+
+
+class TestGpuModel:
+    def test_host_resident_pays_pcie_staging(self):
+        gpu = GpuGemmModel()
+        s = GemmShape(1024, 4096, 1)
+        t_dev = gpu.gemm_seconds(s, weights_in_device=True)
+        t_host = gpu.gemm_seconds(s, weights_in_device=False)
+        pcie_s = s.weight_bytes / (TITAN_XP.pcie_bw_gbps * 1e9)
+        assert t_host == pytest.approx(t_dev + pcie_s)
+        # At large batch the occupancy penalty vanishes and staging
+        # dominates the host-resident case.
+        big = GemmShape(1024, 4096, 512)
+        assert gpu.gemm_seconds(big, weights_in_device=False) > 3 * gpu.gemm_seconds(
+            big, weights_in_device=True
+        )
+
+    def test_small_batch_gpu_host_slower_than_cpu(self):
+        """Fig. 1: with weights in main memory, small-batch GPU loses."""
+        gpu, cpu = GpuGemmModel(), CpuGemmModel()
+        s = GemmShape(1024, 4096, 1)
+        assert gpu.gemm_seconds(s, weights_in_device=False) > cpu.gemm_seconds(s)
+
+    def test_large_batch_gpu_device_wins(self):
+        gpu, cpu = GpuGemmModel(), CpuGemmModel()
+        s = GemmShape(1024, 4096, 1024)
+        assert gpu.gemm_seconds(s) < cpu.gemm_seconds(s)
+
+    def test_gflops_monotone_in_batch(self):
+        gpu = GpuGemmModel()
+        g = [gpu.gflops(GemmShape(1024, 4096, n)) for n in (1, 8, 64, 512)]
+        assert g == sorted(g)
+
+
+class TestPei:
+    def test_command_bandwidth_bound_at_bg(self, cfg, sky):
+        """§V-B: PEI cannot exploit BG-level parallelism."""
+        s = GemmShape(1024, 4096, 4)
+        pei = pei_gemm(cfg, sky, s, PimLevel.BANKGROUP)
+        stp = execute_gemm(cfg, sky, s, PimLevel.BANKGROUP)
+        assert pei.breakdown.gemm > 3 * stp.breakdown.gemm
+
+    def test_bg_no_better_than_dv_for_pei(self, cfg, sky):
+        """Using more PIMs with PEI only adds overhead (§V-B)."""
+        s = GemmShape(1024, 4096, 4)
+        bg = pei_gemm(cfg, sky, s, PimLevel.BANKGROUP).breakdown.total
+        dv = pei_gemm(cfg, sky, s, PimLevel.DEVICE).breakdown.total
+        assert bg >= dv * 0.95
+
+    def test_pei_flow_tag(self, cfg, sky):
+        r = pei_gemm(cfg, sky, GemmShape(256, 1024, 2), PimLevel.DEVICE)
+        assert r.flow == "pei"
+        assert r.kernel_launches == sum(r.plan.gemm_blocks_per_pim.values())
+
+
+class TestChopim:
+    def test_ncho_scales_with_batch(self, cfg, sky):
+        """nCHO = N GEMV passes: ~N x the batch-1 eCHO time."""
+        s1 = ncho_gemm(cfg, sky, GemmShape(1024, 4096, 1), PimLevel.DEVICE)
+        s4 = ncho_gemm(cfg, sky, GemmShape(1024, 4096, 4), PimLevel.DEVICE)
+        assert s4.breakdown.total == pytest.approx(4 * s1.breakdown.total, rel=1e-6)
+
+    def test_echo_beats_ncho(self, cfg, sky):
+        """Block grouping recovers locality: eCHO << nCHO for batch > 1."""
+        s = GemmShape(1024, 4096, 8)
+        e = echo_gemm(cfg, sky, s, PimLevel.DEVICE).breakdown.total
+        n = ncho_gemm(cfg, sky, s, PimLevel.DEVICE).breakdown.total
+        assert n > 2 * e
+
+    def test_stepstone_beats_echo(self, cfg, sky):
+        s = GemmShape(1024, 4096, 8)
+        e = echo_gemm(cfg, sky, s, PimLevel.DEVICE).breakdown.total
+        stp = execute_gemm(cfg, sky, s, PimLevel.DEVICE).breakdown.total
+        assert e > stp
+
+    def test_ncho_flow_tag(self, cfg, sky):
+        r = ncho_gemm(cfg, sky, GemmShape(256, 1024, 4), PimLevel.DEVICE)
+        assert r.flow == "ncho"
+
+
+class TestScheduler:
+    def test_bg_chosen_for_small_batch(self, cfg, sky):
+        ch = choose_execution(cfg, sky, GemmShape(1024, 4096, 1))
+        assert ch.level is PimLevel.BANKGROUP
+
+    def test_dv_chosen_for_batch32(self, cfg, sky):
+        ch = choose_execution(cfg, sky, GemmShape(1024, 4096, 32))
+        assert ch.level is PimLevel.DEVICE
+
+    def test_subsetting_chosen_for_small_matrix(self, cfg, sky):
+        """Restricted to BG PIMs, the scheduler pins a bit for small
+        matrices (Fig. 10's half-PIM win); with DV available it may instead
+        express the same tradeoff by dropping to the 4 DV units."""
+        ch = choose_execution(
+            cfg, sky, GemmShape(512, 2048, 16), levels=(PimLevel.BANKGROUP,)
+        )
+        assert ch.pinned_id_bits >= 1
+
+    def test_describe(self, cfg, sky):
+        ch = choose_execution(cfg, sky, GemmShape(1024, 4096, 4))
+        assert "StepStone-" in ch.describe()
+
+    def test_no_feasible_raises(self, cfg, sky):
+        with pytest.raises(ValueError):
+            choose_execution(
+                cfg, sky, GemmShape(1024, 4096, 100000), max_pinned_bits=0
+            )

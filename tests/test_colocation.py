@@ -1,0 +1,110 @@
+"""Tests for CPU traffic generation and command-bus contention (Fig. 13)."""
+
+import pytest
+
+from repro.colocation.contention import (
+    CommandBusModel,
+    colocation_speedup,
+    run_colocated,
+)
+from repro.colocation.traffic import SPEC_MIX, SPEC_WORKLOADS, TrafficGenerator
+from repro.core.config import StepStoneConfig
+from repro.core.gemm import GemmShape
+from repro.dram.controller import ChannelController
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return StepStoneConfig.default()
+
+
+@pytest.fixture(scope="module")
+def sky():
+    return make_skylake()
+
+
+class TestWorkloads:
+    def test_four_paper_workloads(self):
+        assert set(SPEC_WORKLOADS) == {"mcf", "lbm", "omnetpp", "gemsFDTD"}
+
+    def test_bandwidth_positive(self):
+        for w in SPEC_WORKLOADS.values():
+            assert 1.0 < w.bandwidth_gbps() < 20.0
+
+    def test_utilization_bounded(self):
+        for w in SPEC_WORKLOADS.values():
+            assert 0.0 < w.command_bus_utilization() < 0.5
+
+    def test_mix_saturates_large_fraction(self):
+        u = SPEC_MIX()
+        assert 0.4 < u <= 0.85
+
+
+class TestTrafficGenerator:
+    def test_deterministic_with_seed(self):
+        a = TrafficGenerator(SPEC_WORKLOADS["mcf"], seed=3).requests(100)
+        b = TrafficGenerator(SPEC_WORKLOADS["mcf"], seed=3).requests(100)
+        assert [(r.arrival, r.row) for r in a] == [(r.arrival, r.row) for r in b]
+
+    def test_row_hit_rate_reflected(self):
+        """High row-hit workloads produce longer same-row runs."""
+        hits = {}
+        for name in ("mcf", "lbm"):
+            reqs = TrafficGenerator(SPEC_WORKLOADS[name], seed=1).requests(3000)
+            same = sum(
+                1
+                for a, b in zip(reqs, reqs[1:])
+                if a.coord == b.coord and a.row == b.row
+            )
+            hits[name] = same / len(reqs)
+        assert hits["lbm"] > hits["mcf"]  # lbm is the streaming workload
+
+    def test_requests_run_through_controller(self):
+        reqs = TrafficGenerator(SPEC_WORKLOADS["omnetpp"], seed=0).requests(500)
+        stats = ChannelController(refresh=False).run(reqs)
+        assert stats.reads + stats.writes == 500
+
+
+class TestCommandBus:
+    def test_no_contention_no_delay(self):
+        assert CommandBusModel(0.0).launch_delay_cycles == 0.0
+
+    def test_delay_grows_with_utilization(self):
+        delays = [CommandBusModel(u).launch_delay_cycles for u in (0.2, 0.5, 0.8)]
+        assert delays == sorted(delays)
+        assert delays[-1] > 4 * delays[0]
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            CommandBusModel(1.0)
+        with pytest.raises(ValueError):
+            CommandBusModel(-0.1)
+
+
+class TestColocation:
+    def test_unknown_flow_rejected(self, cfg, sky):
+        with pytest.raises(ValueError):
+            run_colocated(cfg, sky, GemmShape(256, 1024, 4), PimLevel.DEVICE, "pei", 0.5)
+
+    def test_speedup_at_least_one(self, cfg, sky):
+        r = colocation_speedup(cfg, sky, GemmShape(2048, 2048, 4), PimLevel.DEVICE, 0.5)
+        assert r["speedup"] >= 1.0
+
+    def test_idle_cpu_small_gap(self, cfg, sky):
+        """Without CPU traffic the launch overhead is minor (§V-G setup)."""
+        busy = colocation_speedup(cfg, sky, GemmShape(4096, 4096, 4), PimLevel.BANKGROUP, SPEC_MIX())
+        idle = colocation_speedup(cfg, sky, GemmShape(4096, 4096, 4), PimLevel.BANKGROUP, 0.0)
+        assert busy["speedup"] > 1.5 * idle["speedup"]
+
+    def test_tall_thin_worse_for_echo(self, cfg, sky):
+        u = SPEC_MIX()
+        fat = colocation_speedup(cfg, sky, GemmShape(2048, 8192, 4), PimLevel.BANKGROUP, u)
+        thin = colocation_speedup(cfg, sky, GemmShape(16384, 1024, 4), PimLevel.BANKGROUP, u)
+        assert thin["echo_launches"] > fat["echo_launches"]
+        assert thin["speedup"] > fat["speedup"]
+
+    def test_stp_launches_tiny(self, cfg, sky):
+        r = colocation_speedup(cfg, sky, GemmShape(4096, 4096, 4), PimLevel.BANKGROUP, 0.5)
+        assert r["stp_launches"] < 0.02 * r["echo_launches"]

@@ -1,0 +1,97 @@
+"""Tests for the Table II energy model (Fig. 14)."""
+
+import pytest
+
+from repro.core.config import StepStoneConfig
+from repro.core.executor import execute_gemm
+from repro.core.gemm import GemmShape
+from repro.energy.model import ENERGY_TABLE2, EnergyModel, EnergyTable
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return StepStoneConfig.default()
+
+
+@pytest.fixture(scope="module")
+def sky():
+    return make_skylake()
+
+
+def _energy(cfg, sky, n, level):
+    r = execute_gemm(cfg, sky, GemmShape(1024, 4096, n), level)
+    return EnergyModel().evaluate(r)
+
+
+class TestTable:
+    def test_table2_constants(self):
+        t = ENERGY_TABLE2
+        assert t.in_device_pj_per_bit == 11.3
+        assert t.off_chip_pj_per_bit == 25.7
+        assert t.scratchpad_nj_per_access[PimLevel.BANKGROUP] == 0.03
+
+    def test_custom_table(self):
+        t = EnergyTable(in_device_pj_per_bit=5.0)
+        assert t.in_device_pj_per_bit == 5.0
+        assert t.scratchpad_nj_per_access is not None
+
+
+class TestEnergyModel:
+    def test_components_positive(self, cfg, sky):
+        e = _energy(cfg, sky, 4, PimLevel.BANKGROUP)
+        assert e.simd_j > 0 and e.scratchpad_j > 0
+        assert e.dram_j > 0 and e.loc_red_j > 0
+        assert e.total_j == pytest.approx(
+            e.simd_j + e.scratchpad_j + e.dram_j + e.loc_red_j
+        )
+
+    def test_dram_dominates_simd(self, cfg, sky):
+        """Fig. 14: DRAM access power dominates the SIMD units."""
+        for n in (1, 4, 16):
+            for lvl in (PimLevel.BANKGROUP, PimLevel.DEVICE):
+                e = _energy(cfg, sky, n, lvl)
+                assert e.dram_j + e.loc_red_j > e.simd_j
+
+    def test_bg_wins_small_n_dv_wins_large_n(self, cfg, sky):
+        """Fig. 14 crossover: in-device I/O favours BG at N=1; loc/red
+        growth favours DV by N=16."""
+        assert (
+            _energy(cfg, sky, 1, PimLevel.BANKGROUP).pj_per_op
+            < _energy(cfg, sky, 1, PimLevel.DEVICE).pj_per_op
+        )
+        assert (
+            _energy(cfg, sky, 16, PimLevel.DEVICE).pj_per_op
+            < _energy(cfg, sky, 16, PimLevel.BANKGROUP).pj_per_op
+        )
+
+    def test_pj_per_op_falls_with_batch(self, cfg, sky):
+        """Arithmetic amortizes the weight streaming energy."""
+        e1 = _energy(cfg, sky, 1, PimLevel.DEVICE).pj_per_op
+        e16 = _energy(cfg, sky, 16, PimLevel.DEVICE).pj_per_op
+        assert e16 < e1
+
+    def test_power_envelope(self, cfg, sky):
+        for n in (1, 16):
+            for lvl in (PimLevel.BANKGROUP, PimLevel.DEVICE):
+                e = _energy(cfg, sky, n, lvl)
+                assert 0.05 < e.watts_per_device < 2.0
+
+    def test_channel_level_pays_offchip_rates(self, cfg, sky):
+        bg = _energy(cfg, sky, 4, PimLevel.BANKGROUP)
+        ch = _energy(cfg, sky, 4, PimLevel.CHANNEL)
+        # Same A traffic, but CH reads cross the pins at 25.7 pJ/b.
+        assert ch.dram_j > 1.5 * bg.dram_j
+
+    def test_as_dict_keys(self, cfg, sky):
+        d = _energy(cfg, sky, 4, PimLevel.DEVICE).as_dict()
+        assert {"simd_j", "dram_j", "loc_red_j", "watts_per_device", "pj_per_op"} <= set(d)
+
+    def test_zero_time_guard(self):
+        from repro.energy.model import EnergyBreakdown
+
+        e = EnergyBreakdown(0, 0, 0, 0, seconds=0.0, flops=0.0, n_devices=0)
+        assert e.watts_total == 0.0
+        assert e.watts_per_device == 0.0
+        assert e.pj_per_op == 0.0

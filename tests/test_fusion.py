@@ -1,0 +1,75 @@
+"""Tests for non-pow2 kernel fusion (§III-E)."""
+
+import pytest
+
+from repro.core.config import StepStoneConfig
+from repro.core.fusion import fused_execute, pow2_grid
+from repro.core.gemm import GemmShape
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return StepStoneConfig.default()
+
+
+@pytest.fixture(scope="module")
+def sky():
+    return make_skylake()
+
+
+class TestGrid:
+    def test_pow2_single_tile(self):
+        m, k = pow2_grid(GemmShape(1024, 4096, 4))
+        assert m == [1024] and k == [4096]
+
+    def test_gpt2_decomposition(self):
+        m, k = pow2_grid(GemmShape(1600, 6400, 4))
+        assert m == [1024, 512, 64]
+        assert k == [4096, 2048, 256]
+        assert sum(m) == 1600 and sum(k) == 6400
+
+    def test_min_dim_rounding(self):
+        m, k = pow2_grid(GemmShape(24, 24, 1))
+        assert all(x >= 16 for x in m + k)
+
+
+class TestFusedExecution:
+    def test_pow2_no_savings(self, cfg, sky):
+        r = fused_execute(cfg, sky, GemmShape(1024, 4096, 4), PimLevel.BANKGROUP)
+        assert r.n_tiles == 1
+        assert r.savings_fraction == pytest.approx(0.0)
+        assert r.breakdown.total == pytest.approx(r.unfused_breakdown.total)
+
+    def test_non_pow2_saves(self, cfg, sky):
+        r = fused_execute(cfg, sky, GemmShape(1600, 1600, 4), PimLevel.BANKGROUP)
+        assert r.n_tiles == 9
+        assert 0.05 < r.savings_fraction < 0.6
+
+    def test_gemm_phase_unchanged(self, cfg, sky):
+        """Fusion only elides loc/red duplicates, never compute/stream."""
+        r = fused_execute(cfg, sky, GemmShape(1600, 1600, 4), PimLevel.BANKGROUP)
+        assert r.breakdown.gemm == pytest.approx(r.unfused_breakdown.gemm)
+        assert r.breakdown.fill_b == pytest.approx(r.unfused_breakdown.fill_b)
+        assert r.breakdown.localization < r.unfused_breakdown.localization
+        assert r.breakdown.reduction < r.unfused_breakdown.reduction
+
+    def test_localization_once_per_k_band(self, cfg, sky):
+        """M-splits of the same K range share one B localization."""
+        r = fused_execute(cfg, sky, GemmShape(2560, 512, 4), PimLevel.BANKGROUP)
+        # 2560 -> [2048, 512]; one K band: loc counted once, red twice.
+        assert r.breakdown.localization < r.unfused_breakdown.localization
+        assert r.breakdown.reduction == pytest.approx(r.unfused_breakdown.reduction)
+
+    def test_reduction_once_per_m_band(self, cfg, sky):
+        """K-splits accumulating into the same C share one reduction."""
+        r = fused_execute(cfg, sky, GemmShape(512, 2560, 4), PimLevel.BANKGROUP)
+        assert r.breakdown.reduction < r.unfused_breakdown.reduction
+        assert r.breakdown.localization == pytest.approx(
+            r.unfused_breakdown.localization
+        )
+
+    def test_dv_level_also_fuses(self, cfg, sky):
+        r = fused_execute(cfg, sky, GemmShape(1600, 6400, 8), PimLevel.DEVICE)
+        assert r.savings_fraction > 0.0

@@ -1,0 +1,78 @@
+"""Tests for the Fig. 8 inference engine."""
+
+import pytest
+
+from repro.models.dlrm import make_dlrm_rm3
+from repro.models.inference import BACKENDS, InferenceEngine, all_models
+from repro.models.xlm import make_xlm
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return InferenceEngine()
+
+
+@pytest.fixture(scope="module")
+def dlrm_results(engine):
+    return engine.run_all(make_dlrm_rm3())
+
+
+class TestEngine:
+    def test_backends_tuple(self):
+        assert BACKENDS == ("cpu", "icpu", "pei", "ncho", "echo", "stp_dv", "stp")
+
+    def test_unknown_backend_rejected(self, engine):
+        with pytest.raises(ValueError, match="unknown backend"):
+            engine.run(make_dlrm_rm3(), "tpu")
+
+    def test_all_models_registry(self):
+        models = all_models()
+        assert set(models) == {"DLRM", "GPT2", "XLM", "BERT"}
+
+    def test_components_sum_to_total(self, dlrm_results):
+        for r in dlrm_results.values():
+            assert r.total_s == pytest.approx(
+                r.pim_dv_s + r.pim_bg_s + r.cpu_gemm_s + r.cpu_other_s
+            )
+
+    def test_cpu_backend_has_no_pim_time(self, dlrm_results):
+        r = dlrm_results["cpu"]
+        assert r.pim_dv_s == 0.0 and r.pim_bg_s == 0.0
+        assert r.cpu_gemm_s > 0
+
+    def test_stp_dv_never_uses_bg(self, dlrm_results):
+        assert dlrm_results["stp_dv"].pim_bg_s == 0.0
+
+    def test_ordering_cpu_worst_stp_best(self, dlrm_results):
+        t = {b: dlrm_results[b].total_s for b in BACKENDS}
+        assert t["stp"] <= t["stp_dv"] <= t["echo"]
+        assert t["echo"] < t["ncho"]
+        assert t["stp"] < t["icpu"] < t["cpu"]
+
+    def test_icpu_never_slower_than_cpu(self, engine):
+        for spec in all_models().values():
+            icpu = engine.run(spec, "icpu")
+            cpu = engine.run(spec, "cpu")
+            assert icpu.total_s <= cpu.total_s
+
+    def test_normalization(self, dlrm_results):
+        icpu = dlrm_results["icpu"]
+        norm = icpu.normalized_to(icpu)
+        assert norm["total"] == pytest.approx(1.0)
+
+    def test_xlm_level_switching(self, engine):
+        """§V-B: XLM uses BG-level PIMs at small N, DV-level at large N."""
+        r = engine.run(make_xlm(), "stp")
+        assert r.pim_bg_s > 0 and r.pim_dv_s > 0
+        assert r.level_switches == 1
+
+    def test_tile_cache_reused(self):
+        eng = InferenceEngine()
+        eng.run(make_dlrm_rm3(), "stp")
+        n1 = len(eng._tile_cache)
+        eng.run(make_dlrm_rm3(), "stp")
+        assert len(eng._tile_cache) == n1  # second run fully cached
+
+    def test_cpu_other_constant_across_backends(self, dlrm_results):
+        vals = {round(r.cpu_other_s, 12) for r in dlrm_results.values()}
+        assert len(vals) == 1

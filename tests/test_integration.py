@@ -1,0 +1,128 @@
+"""End-to-end integration: allocate -> analyze -> execute -> reduce -> energy.
+
+These tests exercise whole pipelines across subsystem boundaries, the way a
+deployment would: real allocator bases feed the footprint analysis and the
+functional simulator; plans feed the executor, energy model, and serving
+policies; and the property tests tie the stream model to the exact
+controller on randomized traces.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import StepStoneConfig
+from repro.core.executor import execute_gemm
+from repro.core.functional import functional_gemm
+from repro.core.gemm import GemmShape
+from repro.dram.commands import BankCoord, Request
+from repro.dram.controller import ChannelController
+from repro.dram.stream import StreamAccess, stream_cycles
+from repro.energy.model import EnergyModel
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+from repro.osmem.allocator import ColoredFrameAllocator
+from repro.serving.scheduler import BatchServer
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return StepStoneConfig.default()
+
+
+@pytest.fixture(scope="module")
+def sky():
+    return make_skylake()
+
+
+class TestDeploymentPipeline:
+    def test_allocated_base_functional_gemm(self, sky):
+        """The distributed flow is exact at a real (non-zero) allocator base."""
+        alloc = ColoredFrameAllocator(sky, reserve_low=1 << 20)
+        m, k, n = 64, 1024, 3
+        region = alloc.allocate("w", m * k * 4)
+        assert region.base != 0
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        c, stats = functional_gemm(
+            sky, PimLevel.BANKGROUP, a, b, base=region.base
+        )
+        np.testing.assert_allclose(
+            c, a.astype(np.float64) @ b.astype(np.float64), rtol=1e-9, atol=1e-9
+        )
+        assert stats.complete
+
+    def test_base_shifts_pim_assignment_not_cost(self, cfg, sky):
+        """Different aligned bases permute PIM ownership but leave the
+        latency structure unchanged (XOR linearity)."""
+        shape = GemmShape(256, 4096, 4)
+        r0 = execute_gemm(cfg, sky, shape, PimLevel.BANKGROUP, base=0)
+        r1 = execute_gemm(
+            cfg, sky, shape, PimLevel.BANKGROUP, base=shape.m * shape.k * 4 * 3
+        )
+        assert r1.breakdown.total == pytest.approx(r0.breakdown.total, rel=0.02)
+
+    def test_plan_execute_energy_serve_chain(self, cfg, sky):
+        """Plan -> execute -> energy -> serving on one shape, no surprises."""
+        shape = GemmShape(1024, 4096, 8)
+        res = execute_gemm(cfg, sky, shape, PimLevel.DEVICE)
+        e = EnergyModel().evaluate(res)
+        assert 0 < e.pj_per_op < 1000
+        srv = BatchServer()
+        point = srv.serve(1024, 4096, 8)
+        assert point.backend == "pim"
+        assert point.latency_s <= res.breakdown.total / 1.2e9 * 1.01
+
+    def test_functional_matches_plan_coverage(self, cfg, sky):
+        """The plan's block accounting equals the functional coverage."""
+        from repro.core.gemm import plan_gemm
+
+        m, k = 64, 2048
+        plan = plan_gemm(cfg, sky, GemmShape(m, k, 2), PimLevel.BANKGROUP)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, 2)).astype(np.float32)
+        _, stats = functional_gemm(sky, PimLevel.BANKGROUP, a, b)
+        assert stats.blocks_per_pim == {
+            p: plan.gemm_blocks_per_pim[p] for p in stats.blocks_per_pim
+        }
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=200, max_value=800),
+    rows=st.integers(min_value=2, max_value=16),
+)
+def test_stream_model_tracks_controller(seed, n, rows):
+    """Property: on random traces in the PIM operating regime (row runs of
+    at least a cache-block handful, as group execution produces) the
+    vectorized stream model stays within a tolerance band of the exact
+    FR-FCFS simulator."""
+    rng = np.random.default_rng(seed)
+    bg = rng.integers(0, 4, n)
+    bank = rng.integers(0, 4, n)
+    run = max(24, n // rows)
+    row = np.repeat(np.arange(rows + 1), run)[:n]
+    assert len(row) == n
+    acc = StreamAccess(
+        rank=np.zeros(n, dtype=np.int64),
+        bankgroup=bg,
+        bank=bg * 4 + bank,
+        row=row,
+    )
+    model = stream_cycles(acc, refresh=False)
+    reqs = [
+        Request(
+            arrival=0,
+            coord=BankCoord(0, int(bg[i]), int(bank[i])),
+            row=int(row[i]),
+            column=i % 128,
+            request_id=i,
+        )
+        for i in range(n)
+    ]
+    exact = ChannelController(refresh=False, queue_depth=4).run(reqs)
+    ratio = model.cycles / exact.total_cycles
+    assert 0.7 < ratio < 1.35, (seed, n, rows, ratio)

@@ -1,0 +1,112 @@
+"""Tests for model specs (Table II) and the layer building blocks."""
+
+import pytest
+
+from repro.core.gemm import GemmShape
+from repro.models.bert import make_bert
+from repro.models.dlrm import make_dlrm_rm3
+from repro.models.gpt2 import make_gpt2
+from repro.models.layers import CpuOp, GemmInvocation, pow2_partition
+from repro.models.xlm import make_xlm
+
+
+class TestPow2Partition:
+    def test_pow2_passthrough(self):
+        tiles = pow2_partition(GemmShape(1024, 4096, 4))
+        assert len(tiles) == 1
+        assert tiles[0] == GemmShape(1024, 4096, 4)
+
+    def test_gpt2_1600_decomposition(self):
+        tiles = pow2_partition(GemmShape(1600, 1600, 4))
+        ms = sorted({t.m for t in tiles}, reverse=True)
+        assert ms == [1024, 512, 64]
+        # Full coverage: sum of m-tiles x k-tiles = original area.
+        area = sum(t.m * t.k for t in tiles)
+        assert area == 1600 * 1600
+
+    def test_6400_decomposition(self):
+        tiles = pow2_partition(GemmShape(6400, 16, 1))
+        assert sum(t.m for t in {(t.m, t.k): t for t in tiles}.values()) >= 6400
+        assert all(t.m & (t.m - 1) == 0 for t in tiles)
+
+    def test_small_dims_round_up(self):
+        tiles = pow2_partition(GemmShape(3, 20, 1))
+        assert all(t.m >= 3 for t in tiles)
+        assert all(t.k & (t.k - 1) == 0 for t in tiles)
+
+    def test_n_preserved(self):
+        tiles = pow2_partition(GemmShape(1600, 6400, 7))
+        assert all(t.n == 7 for t in tiles)
+
+
+class TestLayerPrimitives:
+    def test_invocation_count_positive(self):
+        with pytest.raises(ValueError):
+            GemmInvocation("x", GemmShape(4, 16, 1), count=0)
+
+    def test_cpu_op_seconds_positive_and_scales(self):
+        op1 = CpuOp("x", flops=1e6, bytes_moved=1e6, count=1)
+        op2 = CpuOp("x", flops=1e6, bytes_moved=1e6, count=3)
+        assert op2.seconds() == pytest.approx(3 * op1.seconds())
+        assert op1.seconds() > 0
+
+
+class TestModelSpecs:
+    def test_dlrm_layers(self):
+        spec = make_dlrm_rm3()
+        names = [g.name for g in spec.gemms]
+        assert names == ["bottom-fc1", "bottom-fc2", "top-fc1", "top-fc2"]
+        big = spec.gemms[0].shape
+        assert (big.m, big.k) == (512, 2560)
+        assert spec.batch_size == 4
+
+    def test_dlrm_dominated_by_first_fc(self):
+        """§V-B: a single FC layer dominates DLRM execution (92%)."""
+        spec = make_dlrm_rm3()
+        flops = [g.shape.flops * g.count for g in spec.gemms]
+        assert flops[0] / sum(flops) > 0.85
+
+    def test_bert_n_is_32(self):
+        """§V-B: N = batch x seq = 32 in all BERT FC layers."""
+        spec = make_bert()
+        fc = [g for g in spec.gemms if g.name != "classifier"]
+        assert all(g.shape.n == 32 for g in fc)
+        assert sum(g.count for g in fc) == 24 * 6  # 4 proj + 2 MLP per block
+
+    def test_bert_weights_match_table2(self):
+        spec = make_bert()
+        shapes = {(g.shape.m, g.shape.k) for g in spec.gemms}
+        assert (4096, 1024) in shapes and (1024, 4096) in shapes
+        assert (1024, 1024) in shapes
+
+    def test_gpt2_generates_at_batch_n(self):
+        """KV-cached generation: every step runs FCs at N = batch."""
+        spec = make_gpt2()
+        assert all(g.shape.n == 4 for g in spec.gemms)
+        mlp = [g for g in spec.gemms if g.name == "mlp-up"]
+        assert mlp[0].count == 48 * 8  # blocks x generated tokens
+
+    def test_gpt2_non_pow2_dims(self):
+        spec = make_gpt2()
+        assert any(g.shape.m == 6400 or g.shape.k == 6400 for g in spec.gemms)
+
+    def test_xlm_growing_sequence(self):
+        """§V-B: XLM's N grows 4, 8, ..., 32 across iterations."""
+        spec = make_xlm()
+        ns = sorted({g.shape.n for g in spec.gemms})
+        assert ns == [4 * i for i in range(1, 9)]
+
+    def test_xlm_weights_match_table2(self):
+        spec = make_xlm()
+        shapes = {(g.shape.m, g.shape.k) for g in spec.gemms}
+        assert (8192, 2048) in shapes and (2048, 8192) in shapes
+
+    def test_cpu_other_small_but_nonzero(self):
+        for spec in (make_dlrm_rm3(), make_bert(), make_gpt2(), make_xlm()):
+            t = spec.cpu_other_seconds()
+            assert 0 < t < 0.1  # well under the GEMM time scale
+
+    def test_total_weight_bytes_sensible(self):
+        bert = make_bert()
+        # 24 blocks x (4 x 1M + 2 x 4M) fp32 params = ~1.1 GiB streamed.
+        assert 1e9 < bert.total_weight_bytes < 2e9

@@ -1,0 +1,174 @@
+"""Tests for the colored frame allocator and translation engine (§III-E/IV)."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.presets import make_skylake
+from repro.mapping.xor_mapping import PimLevel
+from repro.osmem.allocator import (
+    PAGE_BYTES,
+    AllocationError,
+    ColorConstraint,
+    ColoredFrameAllocator,
+)
+from repro.osmem.translation import TranslationEngine
+
+
+@pytest.fixture()
+def alloc():
+    return ColoredFrameAllocator(make_skylake())
+
+
+class TestContiguous:
+    def test_natural_alignment(self, alloc):
+        r = alloc.allocate("a", 16 * 2**20)
+        assert r.base % (16 * 2**20) == 0
+        assert r.contiguous
+
+    def test_small_rounds_to_page(self, alloc):
+        r = alloc.allocate("t", 100)
+        assert r.size == PAGE_BYTES
+
+    def test_duplicate_name_rejected(self, alloc):
+        alloc.allocate("x", 4096)
+        with pytest.raises(AllocationError, match="already exists"):
+            alloc.allocate("x", 4096)
+
+    def test_release_coalesces(self, alloc):
+        before = alloc.free_bytes()
+        alloc.allocate("x", 1 << 20)
+        alloc.allocate("y", 1 << 20)
+        alloc.release("x")
+        alloc.release("y")
+        assert alloc.free_bytes() == before
+        assert len(alloc._free) == 1
+
+    def test_exhaustion(self, alloc):
+        with pytest.raises(AllocationError):
+            alloc.allocate("huge", alloc.capacity * 2)
+
+    def test_release_unknown(self, alloc):
+        with pytest.raises(AllocationError):
+            alloc.release("nope")
+
+
+class TestPinnability:
+    def test_skylake_32k_chunks(self, alloc):
+        """Under Skylake with 32 KiB chunks, only BG1 (1) and RK (2) are
+        pinnable at BG level — BG0 and CH are fed by offset bits."""
+        assert alloc.pinnable_id_bits(PimLevel.BANKGROUP, 32 * 1024) == [1, 2]
+
+    def test_larger_chunks_pin_fewer(self, alloc):
+        """Raising granularity swallows feeding bits: at 256 KiB only RK
+        (a18^a22) survives; at 1 MiB nothing is pinnable."""
+        assert alloc.pinnable_id_bits(PimLevel.BANKGROUP, 256 * 1024) == [2]
+        assert alloc.pinnable_id_bits(PimLevel.BANKGROUP, 1 << 20) == []
+
+    def test_page_chunks_pin_more(self, alloc):
+        bits = alloc.pinnable_id_bits(PimLevel.BANKGROUP, PAGE_BYTES)
+        assert 1 in bits and 2 in bits
+
+    def test_invalid_chunk(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.pinnable_id_bits(PimLevel.BANKGROUP, 3000)
+
+
+class TestChunkedColored:
+    def test_pinned_bit_constant(self, alloc):
+        c = ColorConstraint.pin(PimLevel.BANKGROUP, b1=0)
+        r = alloc.allocate_chunked("w", 4 << 20, 32 * 1024, constraint=c)
+        assert alloc.verify_pinning(r)
+        assert len(r.chunks) == (4 << 20) // (32 * 1024)
+
+    def test_pinned_value_one(self, alloc):
+        c = ColorConstraint.pin(PimLevel.BANKGROUP, b2=1)
+        r = alloc.allocate_chunked("w", 1 << 20, 32 * 1024, constraint=c)
+        assert alloc.verify_pinning(r)
+
+    def test_unpinnable_bit_rejected(self, alloc):
+        c = ColorConstraint.pin(PimLevel.BANKGROUP, b0=0)  # BG0: fed by a7
+        with pytest.raises(AllocationError, match="cannot be pinned"):
+            alloc.allocate_chunked("w", 1 << 20, 32 * 1024, constraint=c)
+
+    def test_consistent_striping_across_chunks(self, alloc):
+        """§III-E: contiguous VAs stay aligned in DRAM space — every chunk
+        maps offset->PIM identically."""
+        c = ColorConstraint.pin(PimLevel.BANKGROUP, b1=0)
+        r = alloc.allocate_chunked("w", 2 << 20, 32 * 1024, constraint=c)
+        assert alloc.verify_consistent_striping(r, PimLevel.BANKGROUP)
+
+    def test_active_pims_halved_functionally(self, alloc):
+        """The colored region really reaches only half the BG PIMs."""
+        mapping = alloc.mapping
+        c = ColorConstraint.pin(PimLevel.BANKGROUP, b1=0)
+        r = alloc.allocate_chunked("w", 2 << 20, 32 * 1024, constraint=c)
+        blocks = np.concatenate(
+            [np.uint64(b) + np.arange(0, r.chunk_bytes, 64, dtype=np.uint64) for b in r.chunks[:16]]
+        )
+        ids = mapping.pim_ids(blocks, PimLevel.BANKGROUP)
+        # BG1 pinned: the region reaches only PIMs with that bit clear.
+        assert len(np.unique(ids)) <= 8
+        assert all((int(i) >> 1) & 1 == 0 for i in np.unique(ids))
+
+    def test_bad_size_multiple(self, alloc):
+        with pytest.raises(AllocationError, match="multiple"):
+            alloc.allocate_chunked("w", 100_000, 32 * 1024)
+
+    def test_rollback_on_failure(self):
+        """If a constrained chunk cannot be placed, nothing leaks."""
+        alloc = ColoredFrameAllocator(make_skylake())
+        before = alloc.free_bytes()
+        c = ColorConstraint.pin(PimLevel.BANKGROUP, b0=1)
+        with pytest.raises(AllocationError):
+            alloc.allocate_chunked("w", 1 << 20, 32 * 1024, constraint=c)
+        assert alloc.free_bytes() == before
+
+
+class TestConstraint:
+    def test_pin_builder(self):
+        c = ColorConstraint.pin(PimLevel.DEVICE, b0=1, b1=0)
+        assert c.bit_values == ((0, 1), (1, 0))
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            ColorConstraint(PimLevel.DEVICE, ((0, 2),))
+
+
+class TestTranslation:
+    def test_contiguous_single_translation(self, alloc):
+        r = alloc.allocate("a", 1 << 20)
+        eng = TranslationEngine()
+        eng.register(r)
+        assert eng.kernel_command_translations("a", 1 << 20) == 1
+        assert eng.translate("a", 0x1234) == r.base + 0x1234
+
+    def test_chunked_translation(self, alloc):
+        c = ColorConstraint.pin(PimLevel.BANKGROUP, b1=0)
+        r = alloc.allocate_chunked("w", 1 << 20, 32 * 1024, constraint=c)
+        eng = TranslationEngine()
+        eng.register(r)
+        off = 5 * 32 * 1024 + 96
+        assert eng.translate("w", off) == r.chunks[5] + 96
+        assert eng.kernel_command_translations("w", 1 << 20) == 32
+
+    def test_out_of_range(self, alloc):
+        r = alloc.allocate("a", 4096)
+        eng = TranslationEngine()
+        eng.register(r)
+        with pytest.raises(ValueError):
+            eng.translate("a", 5000)
+
+    def test_stats_track_chunk_locality(self, alloc):
+        r = alloc.allocate("a", 1 << 20)
+        eng = TranslationEngine()
+        eng.register(r)
+        for off in range(0, 4096, 64):
+            eng.translate("a", off)
+        assert eng.stats("a").hit_rate > 0.9
+
+    def test_duplicate_register(self, alloc):
+        r = alloc.allocate("a", 4096)
+        eng = TranslationEngine()
+        eng.register(r)
+        with pytest.raises(ValueError):
+            eng.register(r)

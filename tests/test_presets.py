@@ -1,0 +1,108 @@
+"""Preset mappings reproduce the paper's documented structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.analysis import analyze_footprint
+from repro.mapping.presets import (
+    ADDRESS_MAPPINGS,
+    make_skylake,
+    mapping_by_id,
+    pae_randomized,
+)
+from repro.mapping.xor_mapping import PimLevel
+
+
+class TestRegistry:
+    def test_five_mappings(self):
+        assert sorted(ADDRESS_MAPPINGS) == [0, 1, 2, 3, 4]
+
+    def test_mapping_by_id_names(self):
+        assert mapping_by_id(4).name == "skylake"
+        assert mapping_by_id(0).name == "exynos-like"
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            mapping_by_id(9)
+
+    @pytest.mark.parametrize("mid", range(5))
+    def test_all_invertible(self, mid):
+        mapping_by_id(mid)  # constructor runs the GF(2) rank check
+
+
+class TestPaperProperties:
+    """Structural facts the evaluation section depends on."""
+
+    def test_group_counts_1024x4096(self):
+        """Baseline matrix: 16 BG groups, 4 DV groups, 2 CH groups."""
+        sky = make_skylake()
+        expect = {PimLevel.BANKGROUP: 16, PimLevel.DEVICE: 4, PimLevel.CHANNEL: 2}
+        for lvl, n in expect.items():
+            fa = analyze_footprint(sky, lvl, 1024, 4096)
+            assert fa.n_groups == n
+            assert fa.n_active_pims == sky.geometry.num_pims(lvl)
+
+    def test_fig12_half_group_anomaly(self):
+        """2048 x 8192 has half the BG groups of the other Fig. 12 shapes."""
+        sky = make_skylake()
+        groups = {
+            (1024, 4096): 16,
+            (4096, 1024): 16,
+            (8192, 2048): 16,
+            (2048, 8192): 8,
+        }
+        for (m, k), n in groups.items():
+            fa = analyze_footprint(sky, PimLevel.BANKGROUP, m, k)
+            assert fa.n_groups == n, (m, k)
+
+    def test_fig11_sharing_ratios_128x8192(self):
+        """§V-E: mappings 1,2 share 2x more than 3,4 and 4x more than 0."""
+        counts = {}
+        for mid in range(5):
+            fa = analyze_footprint(mapping_by_id(mid), PimLevel.BANKGROUP, 128, 8192)
+            counts[mid] = fa.n_groups
+        assert counts[1] == counts[2]
+        assert counts[3] == counts[4]
+        assert counts[1] == 2 * counts[3]
+        assert counts[1] == 4 * counts[0]
+
+    def test_fig4_example_16x512(self):
+        """Paper Fig. 4: 4 active PIMs, 4 groups, lowest ID bit 7."""
+        fa = analyze_footprint(make_skylake(), PimLevel.BANKGROUP, 16, 512)
+        assert fa.n_active_pims == 4
+        assert fa.n_groups == 4
+        assert fa.lowest_id_bit == 7
+
+    @pytest.mark.parametrize("mid", [2, 3])
+    def test_coarse_bankgroup_interleave(self, mid):
+        """Mappings 2,3 keep long same-BG runs (the §V-E tCCD_L penalty)."""
+        m = mapping_by_id(mid)
+        addrs = np.arange(256, dtype=np.uint64) * np.uint64(64)
+        bgs = m.field_values(addrs, "bankgroup")
+        # All 256 consecutive blocks stay in one bank group.
+        assert len(np.unique(bgs)) == 1
+
+    def test_skylake_fine_bankgroup_interleave(self):
+        sky = make_skylake()
+        addrs = np.arange(8, dtype=np.uint64) * np.uint64(64)
+        bgs = sky.field_values(addrs, "bankgroup")
+        assert len(np.unique(bgs)) > 1
+
+
+class TestPae:
+    def test_randomized_invertible_many_seeds(self):
+        base = make_skylake()
+        for seed in range(10):
+            m = pae_randomized(base, seed)
+            assert m.name.endswith(f"pae{seed}")
+
+    def test_randomization_changes_grouping(self):
+        base = make_skylake()
+        changed = 0
+        for seed in range(8):
+            m = pae_randomized(base, seed)
+            fa = analyze_footprint(m, PimLevel.BANKGROUP, 128, 8192)
+            fb = analyze_footprint(base, PimLevel.BANKGROUP, 128, 8192)
+            if fa.n_groups != fb.n_groups:
+                changed += 1
+        assert changed >= 1  # at least some seeds perturb the structure

@@ -1,0 +1,82 @@
+"""Tests for the batch-serving layer (§V-A/V-B policies)."""
+
+import pytest
+
+from repro.serving.scheduler import BatchServer
+
+
+@pytest.fixture(scope="module")
+def srv():
+    return BatchServer()
+
+
+class TestPrimitive:
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            BatchServer(max_pim_batch=0)
+
+    def test_pim_latency_splits(self, srv):
+        t32 = srv.pim_latency(1024, 4096, 32)
+        t64 = srv.pim_latency(1024, 4096, 64)
+        assert t64 == pytest.approx(2 * t32)
+
+    def test_remainder_chunk(self, srv):
+        t40 = srv.pim_latency(1024, 4096, 40)
+        t32 = srv.pim_latency(1024, 4096, 32)
+        assert t40 > t32
+        assert t40 < 2 * t32  # the 8-sample tail is cheaper than a full chunk
+
+    def test_serve_prefers_pim_small_batch(self, srv):
+        p = srv.serve(1024, 4096, 4)
+        assert p.backend == "pim"
+
+    def test_serve_prefers_cpu_huge_batch(self, srv):
+        p = srv.serve(1024, 4096, 2048)
+        assert p.backend == "cpu"
+
+
+class TestClaims:
+    def test_break_even_past_saturation(self, srv):
+        """§V-B: splitting keeps PIM ahead well past batch 32."""
+        be = srv.break_even_batch(1024, 4096, n_max=1024)
+        assert be >= 64
+        # And the crossover exists: the CPU eventually wins.
+        assert be < 1024
+
+    def test_throughput_under_cpu_batch1_latency(self, srv):
+        constraint = srv.cpu_latency(1024, 4096, 1)
+        p = srv.throughput_under_latency(1024, 4096, constraint)
+        assert p.backend == "pim"
+        assert p.throughput > 20 * (1.0 / constraint)  # the §V-A 77x family
+
+    def test_impossible_constraint(self, srv):
+        with pytest.raises(ValueError):
+            srv.throughput_under_latency(1024, 4096, 1e-9)
+
+
+class TestHybrid:
+    def test_hybrid_no_worse_than_pim_only(self, srv):
+        n = 512
+        pim_only = srv.pim_latency(1024, 4096, n)
+        h = srv.hybrid_split(1024, 4096, n)
+        assert h.latency_s <= pim_only
+        assert h.total == n
+
+    def test_hybrid_uses_both_for_large_batches(self, srv):
+        h = srv.hybrid_split(1024, 4096, 512)
+        assert h.cpu_batch > 0 and h.pim_batch > 0
+
+    def test_hybrid_small_batch_stays_on_pim(self, srv):
+        h = srv.hybrid_split(1024, 4096, 16)
+        assert h.cpu_batch == 0
+
+    def test_invalid_batch(self, srv):
+        with pytest.raises(ValueError):
+            srv.hybrid_split(1024, 4096, 0)
+
+    def test_chunk_cache_reused(self):
+        srv = BatchServer()
+        srv.pim_latency(1024, 4096, 96)
+        n1 = len(srv._chunk_cache)
+        srv.pim_latency(1024, 4096, 960)
+        assert len(srv._chunk_cache) == n1

@@ -1,0 +1,180 @@
+"""Validation of the vectorized stream model against the controller."""
+
+import numpy as np
+import pytest
+
+from repro.dram.commands import BankCoord, Request
+from repro.dram.controller import ChannelController
+from repro.dram.stream import (
+    StreamAccess,
+    sequential_stream_cycles,
+    stream_cycles,
+)
+from repro.dram.timing import DDR4_2400R
+
+
+def _to_requests(acc: StreamAccess):
+    return [
+        Request(
+            arrival=0,
+            coord=BankCoord(int(acc.rank[i]), int(acc.bankgroup[i]), int(acc.bank[i])),
+            row=int(acc.row[i]),
+            column=i % 128,
+            request_id=i,
+        )
+        for i in range(len(acc))
+    ]
+
+
+def _stream(rank, bg, bank, row):
+    rank = np.asarray(rank)
+    bg = np.asarray(bg)
+    bank = np.asarray(bank)
+    row = np.asarray(row)
+    flat = (rank * 4 + bg) * 4 + bank
+    return StreamAccess(rank=rank, bankgroup=bg, bank=flat * 0 + bank, row=row), flat
+
+
+class TestAgainstController:
+    """The vectorized model must track the exact simulator within tolerance."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_low_conflict_trace(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 1500
+        bg = rng.integers(0, 4, n)
+        bank = rng.integers(0, 4, n)
+        # Slowly-varying rows: realistic PIM streams are mostly row hits.
+        row = np.repeat(rng.integers(0, 64, n // 50 + 1), 50)[:n]
+        acc = StreamAccess(
+            rank=np.zeros(n, dtype=np.int64),
+            bankgroup=bg,
+            bank=(bg * 4 + bank),
+            row=row,
+        )
+        model = stream_cycles(acc, refresh=False)
+        ctl = ChannelController(refresh=False, queue_depth=4)
+        exact = ctl.run(_to_requests(acc))
+        ratio = model.cycles / exact.total_cycles
+        assert 0.75 < ratio < 1.3, f"model {model.cycles} vs exact {exact.total_cycles}"
+
+    def test_pure_row_hit_stream(self):
+        n = 512
+        acc = StreamAccess(
+            rank=np.zeros(n, dtype=np.int64),
+            bankgroup=np.zeros(n, dtype=np.int64),
+            bank=np.zeros(n, dtype=np.int64),
+            row=np.zeros(n, dtype=np.int64),
+        )
+        model = stream_cycles(acc, refresh=False)
+        ctl = ChannelController(refresh=False)
+        exact = ctl.run(_to_requests(acc))
+        assert abs(model.cycles - exact.total_cycles) / exact.total_cycles < 0.05
+        assert model.row_misses == 1  # only the first touch
+
+    def test_bankgroup_alternating_faster_than_same(self):
+        n = 512
+        same = StreamAccess(
+            rank=np.zeros(n, dtype=int),
+            bankgroup=np.zeros(n, dtype=int),
+            bank=np.zeros(n, dtype=int),
+            row=np.zeros(n, dtype=int),
+        )
+        alt_bg = np.arange(n) % 4
+        alt = StreamAccess(
+            rank=np.zeros(n, dtype=int),
+            bankgroup=alt_bg,
+            bank=alt_bg * 4,
+            row=np.zeros(n, dtype=int),
+        )
+        assert stream_cycles(alt).cycles < stream_cycles(same).cycles
+
+
+class TestBubbles:
+    def test_bubbles_below_cadence_free(self):
+        n = 256
+        acc = StreamAccess(
+            rank=np.zeros(n, dtype=int),
+            bankgroup=np.zeros(n, dtype=int),
+            bank=np.zeros(n, dtype=int),
+            row=np.zeros(n, dtype=int),
+            bubbles=np.full(n, 3.0),
+        )
+        base = stream_cycles(
+            StreamAccess(acc.rank, acc.bankgroup, acc.bank, acc.row), refresh=False
+        )
+        with_b = stream_cycles(acc, refresh=False)
+        assert with_b.cycles == pytest.approx(base.cycles)
+        assert with_b.bubble_stall_cycles == 0.0
+
+    def test_large_bubbles_dominate(self):
+        n = 256
+        acc = StreamAccess(
+            rank=np.zeros(n, dtype=int),
+            bankgroup=np.zeros(n, dtype=int),
+            bank=np.zeros(n, dtype=int),
+            row=np.zeros(n, dtype=int),
+            bubbles=np.full(n, 50.0),
+        )
+        s = stream_cycles(acc, refresh=False)
+        assert s.cycles > n * 45
+        assert s.bubble_stall_cycles > 0
+
+
+class TestLookahead:
+    def test_lookahead_hides_miss_penalty(self):
+        n = 400
+        row = np.arange(n) // 100  # a few row switches
+        acc = StreamAccess(
+            rank=np.zeros(n, dtype=int),
+            bankgroup=np.arange(n) % 4,
+            bank=(np.arange(n) % 4) * 4,
+            row=row,
+        )
+        ahead = stream_cycles(acc, lookahead_act=True, refresh=False)
+        blind = stream_cycles(acc, lookahead_act=False, refresh=False)
+        assert ahead.cycles <= blind.cycles
+
+    def test_refresh_overhead_factor(self):
+        n = 128
+        acc = StreamAccess(
+            rank=np.zeros(n, dtype=int),
+            bankgroup=np.zeros(n, dtype=int),
+            bank=np.zeros(n, dtype=int),
+            row=np.zeros(n, dtype=int),
+        )
+        off = stream_cycles(acc, refresh=False).cycles
+        on = stream_cycles(acc, refresh=True).cycles
+        assert on == pytest.approx(off / (1 - DDR4_2400R.refresh_overhead))
+
+
+class TestSequential:
+    def test_zero_blocks(self):
+        assert sequential_stream_cycles(0) == 0.0
+
+    def test_scales_linearly(self):
+        a = sequential_stream_cycles(1000, refresh=False)
+        b = sequential_stream_cycles(2000, refresh=False)
+        assert b / a == pytest.approx(2.0, rel=0.05)
+
+    def test_cadence_respected(self):
+        t = sequential_stream_cycles(10000, cadence=6.0, refresh=False)
+        assert t >= 10000 * 6.0
+        t4 = sequential_stream_cycles(10000, cadence=4.0, refresh=False)
+        assert t4 < t
+
+    def test_matches_stream_model_for_contiguous_scan(self):
+        """A contiguous scan across interleaved banks: both models agree."""
+        n = 2048
+        bg = (np.arange(n) // 2) % 4
+        bank = (np.arange(n) // 8) % 4
+        row = np.arange(n) // 128
+        acc = StreamAccess(
+            rank=np.zeros(n, dtype=int),
+            bankgroup=bg,
+            bank=bg * 4 + bank,
+            row=row,
+        )
+        exact_ish = stream_cycles(acc, refresh=False).cycles
+        analytic = sequential_stream_cycles(n, cadence=4.5, refresh=False)
+        assert abs(analytic - exact_ish) / exact_ish < 0.25

@@ -1,0 +1,75 @@
+"""Tests for the StepStoneSystem facade and package-level API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import PimLevel, StepStoneSystem
+from repro.core.config import StepStoneConfig
+from repro.mapping.presets import make_exynos_like, make_toy_mapping
+
+
+class TestConstruction:
+    def test_default(self):
+        s = StepStoneSystem.default()
+        assert s.config.geometry.capacity_bytes == 16 * 2**30
+        assert s.mapping.name == "skylake"
+
+    def test_custom_mapping(self):
+        s = StepStoneSystem(mapping=make_exynos_like())
+        assert s.mapping.mapping_id == 0
+
+    def test_geometry_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="geometries disagree"):
+            StepStoneSystem(
+                config=StepStoneConfig.default(), mapping=make_toy_mapping()
+            )
+
+    def test_package_exports(self):
+        assert repro.__version__
+        assert repro.StepStoneSystem is StepStoneSystem
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+
+class TestApi:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return StepStoneSystem.default()
+
+    def test_analyze_pads(self, system):
+        fa = system.analyze(1000, 3000, PimLevel.BANKGROUP)
+        assert fa.m_rows == 1024 and fa.k_cols == 4096
+
+    def test_run_gemm_auto_level(self, system):
+        r = system.run_gemm(1024, 4096, 1)
+        assert r.plan.level is PimLevel.BANKGROUP  # scheduler picks BG at N=1
+
+    def test_run_gemm_explicit_level(self, system):
+        r = system.run_gemm(1024, 4096, 1, level=PimLevel.CHANNEL)
+        assert r.plan.level is PimLevel.CHANNEL
+
+    def test_compare_levels(self, system):
+        res = system.compare_levels(512, 2048, 4)
+        assert set(res) == set(PimLevel)
+        assert all(r.breakdown.total > 0 for r in res.values())
+
+    def test_functional_roundtrip(self, system):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((32, 512)).astype(np.float32)
+        b = rng.standard_normal((512, 2)).astype(np.float32)
+        c, stats = system.run_gemm_functional(a, b, level=PimLevel.DEVICE)
+        np.testing.assert_allclose(
+            c, a.astype(np.float64) @ b.astype(np.float64), rtol=1e-9
+        )
+        assert stats.complete
+
+    def test_describe(self, system):
+        text = system.describe()
+        assert "StepStone system" in text
+        assert "BG" in text and "DV" in text and "CH" in text
+
+    def test_non_pow2_inputs_handled(self, system):
+        r = system.run_gemm(1000, 3000, 3, level=PimLevel.DEVICE)
+        assert r.plan.shape.m == 1024 and r.plan.shape.k == 4096
+        assert r.plan.orig_shape.m == 1000

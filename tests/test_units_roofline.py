@@ -1,0 +1,80 @@
+"""Tests for unit helpers and the roofline model."""
+
+import pytest
+
+from repro.core.gemm import GemmShape
+from repro.roofline.model import Roofline, gemm_operational_intensity
+from repro.utils.units import (
+    CACHE_BLOCK_BYTES,
+    GiB,
+    KiB,
+    MiB,
+    cycles_to_seconds,
+    cycles_to_us,
+    human_bytes,
+    human_cycles,
+)
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KiB == 1024 and MiB == 1024**2 and GiB == 1024**3
+        assert CACHE_BLOCK_BYTES == 64
+
+    def test_cycles_to_us(self):
+        assert cycles_to_us(1.2e6) == pytest.approx(1000.0)
+        assert cycles_to_seconds(1.2e9) == pytest.approx(1.0)
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(100, clock_hz=0)
+
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(3 * MiB) == "3.0 MiB"
+        assert "GiB" in human_bytes(5 * GiB)
+
+    def test_human_cycles(self):
+        assert human_cycles(1234567) == "1.23e+06"
+
+
+class TestOperationalIntensity:
+    def test_grows_with_batch(self):
+        ois = [
+            gemm_operational_intensity(GemmShape(1024, 4096, n))
+            for n in (1, 4, 16, 64)
+        ]
+        assert ois == sorted(ois)
+
+    def test_batch1_oi_below_one(self):
+        """Batch-1 GEMM moves ~4 bytes per flop pair: OI ~ 0.5."""
+        oi = gemm_operational_intensity(GemmShape(1024, 4096, 1))
+        assert 0.2 < oi < 1.0
+
+    def test_weights_resident_oi_much_higher(self):
+        s = GemmShape(1024, 4096, 4)
+        assert gemm_operational_intensity(s, weights_resident=True) > 10 * gemm_operational_intensity(s)
+
+
+class TestRoofline:
+    def test_attainable_clamps_to_peak(self):
+        r = Roofline("x", peak_gflops=100.0, bandwidth_gbps=10.0)
+        assert r.attainable_gflops(1.0) == 10.0
+        assert r.attainable_gflops(1e6) == 100.0
+
+    def test_ridge(self):
+        r = Roofline("x", 100.0, 10.0)
+        assert r.ridge_oi == 10.0
+        assert r.is_memory_bound(5.0)
+        assert not r.is_memory_bound(50.0)
+
+    def test_invalid_oi(self):
+        with pytest.raises(ValueError):
+            Roofline("x", 1.0, 1.0).attainable_gflops(0.0)
+
+    def test_sweep(self):
+        r = Roofline("x", 100.0, 10.0)
+        pts = r.sweep([0.1, 1.0, 100.0])
+        assert len(pts) == 3
+        assert pts[0].gflops == pytest.approx(1.0)
+        assert all(p.label == "x" for p in pts)

@@ -1,0 +1,57 @@
+"""Tests for Table I workload definitions and sweep generators."""
+
+import pytest
+
+from repro.workloads.gemm_specs import (
+    DEFAULT_WEIGHT_SHAPE,
+    TABLE1_GEMMS,
+    aspect_ratio_sweep,
+    batch_sweep,
+)
+
+
+class TestTable1:
+    def test_row_count_matches_paper(self):
+        assert len(TABLE1_GEMMS) == 10
+
+    def test_models_covered(self):
+        assert {e.model for e in TABLE1_GEMMS} == {"BERT", "GPT2", "DLRM"}
+
+    def test_paper_dimensions_present(self):
+        dims = {(e.m, e.k) for e in TABLE1_GEMMS}
+        for expected in [
+            (1024, 4096),
+            (4096, 1024),
+            (1024, 1024),
+            (1600, 6400),
+            (6400, 1600),
+            (1600, 1600),
+            (512, 2560),
+            (32, 512),
+            (128, 512),
+            (1, 128),
+        ]:
+            assert expected in dims
+
+    def test_shape_builder_respects_batch_range(self):
+        bert = TABLE1_GEMMS[0]
+        assert bert.shape(4).n == 4
+        with pytest.raises(ValueError):
+            bert.shape(256)  # LM batch range is 1-8
+
+    def test_dlrm_allows_large_batch(self):
+        dlrm = next(e for e in TABLE1_GEMMS if e.model == "DLRM")
+        assert dlrm.shape(256).n == 256
+
+
+class TestSweeps:
+    def test_batch_sweep_powers_of_two(self):
+        shapes = list(batch_sweep(n_max=64))
+        assert [s.n for s in shapes] == [1, 2, 4, 8, 16, 32, 64]
+        assert all((s.m, s.k) == DEFAULT_WEIGHT_SHAPE for s in shapes)
+
+    def test_aspect_sweep_fixed_size(self):
+        shapes = aspect_ratio_sweep()
+        assert [s.m for s in shapes] == [2048, 4096, 8192, 16384]
+        assert all(s.m * s.k == 2**24 for s in shapes)
+        assert all(s.n == 4 for s in shapes)

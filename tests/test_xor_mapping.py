@@ -1,0 +1,139 @@
+"""Tests for the XOR address-mapping representation."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.presets import default_geometry, make_skylake, make_toy_mapping
+from repro.mapping.xor_mapping import DRAMGeometry, PimLevel, XORAddressMapping
+
+
+@pytest.fixture(scope="module")
+def sky():
+    return make_skylake()
+
+
+class TestGeometry:
+    def test_default_capacity(self):
+        g = default_geometry()
+        assert g.address_bits == 34
+        assert g.capacity_bytes == 16 * 2**30
+
+    def test_row_bytes(self):
+        g = default_geometry()
+        assert g.row_bytes == 8192
+        assert g.blocks_per_row == 128
+
+    def test_num_pims(self):
+        g = default_geometry()
+        assert g.num_pims(PimLevel.CHANNEL) == 2
+        assert g.num_pims(PimLevel.DEVICE) == 4
+        assert g.num_pims(PimLevel.BANKGROUP) == 16
+
+
+class TestValidation:
+    def test_wrong_mask_count_rejected(self):
+        g = default_geometry()
+        masks = make_skylake().field_masks.copy()
+        masks = {k: list(v) for k, v in masks.items()}
+        masks["channel"] = []
+        with pytest.raises(ValueError, match="expected 1 masks"):
+            XORAddressMapping(g, masks)
+
+    def test_block_offset_bits_rejected(self):
+        masks = {k: list(v) for k, v in make_skylake().field_masks.items()}
+        masks["channel"] = [masks["channel"][0] | 1]
+        with pytest.raises(ValueError, match="block-offset"):
+            XORAddressMapping(default_geometry(), masks)
+
+    def test_non_invertible_rejected(self):
+        masks = {k: list(v) for k, v in make_skylake().field_masks.items()}
+        # Make BG1 a combination of row bits only -> linearly dependent.
+        masks["bankgroup"][1] = masks["row"][0] ^ masks["row"][1]
+        with pytest.raises(ValueError, match="not invertible"):
+            XORAddressMapping(default_geometry(), masks)
+
+    def test_zero_mask_rejected(self):
+        masks = {k: list(v) for k, v in make_skylake().field_masks.items()}
+        masks["rank"] = [0]
+        with pytest.raises(ValueError, match="zero mask"):
+            XORAddressMapping(default_geometry(), masks)
+
+
+class TestEvaluation:
+    def test_scalar_vs_vector_agree(self, sky):
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, sky.geometry.capacity_bytes, 500, dtype=np.uint64)
+        addrs &= ~np.uint64(63)
+        for field in ("channel", "rank", "bankgroup", "bank", "row", "column"):
+            vec = sky.field_values(addrs, field)
+            for a, v in zip(addrs[:50], vec[:50]):
+                assert sky.field_value(int(a), field) == int(v)
+
+    def test_coords_cover_field_ranges(self, sky):
+        rng = np.random.default_rng(2)
+        addrs = rng.integers(0, sky.geometry.capacity_bytes, 20000, dtype=np.uint64)
+        addrs &= ~np.uint64(63)
+        coords = sky.coords_arrays(addrs)
+        g = sky.geometry
+        assert set(np.unique(coords["channel"])) == {0, 1}
+        assert set(np.unique(coords["rank"])) == {0, 1}
+        assert set(np.unique(coords["bankgroup"])) == set(range(4))
+        assert set(np.unique(coords["bank"])) == set(range(4))
+        assert coords["row"].max() < g.rows_per_bank
+        assert coords["column"].max() < g.blocks_per_row
+
+    def test_mapping_is_bijective_on_sample(self, sky):
+        """Distinct addresses within one 1 MiB region get distinct coords."""
+        addrs = (np.arange(2**14, dtype=np.uint64)) * np.uint64(64)
+        c = sky.coords_arrays(addrs)
+        key = (
+            ((c["channel"] * 2 + c["rank"]) * 4 + c["bankgroup"]) * 4 + c["bank"]
+        ) * np.uint64(2**22) + c["row"] * np.uint64(128) + c["column"]
+        assert len(np.unique(key)) == len(addrs)
+
+    def test_paper_fig4_skylake_properties(self, sky):
+        """§III-B: BG0 = a7 ^ a14; a8,a9,a12,a13 affect the channel bit."""
+        bg0 = sky.field_masks["bankgroup"][0]
+        assert bg0 == (1 << 7) | (1 << 14)
+        ch = sky.field_masks["channel"][0]
+        for b in (8, 9, 12, 13):
+            assert (ch >> b) & 1 == 1
+
+    def test_pim_id_bit_order(self, sky):
+        """BG0 is PIM ID bit 0; channel is the MSB (paper Fig. 4a)."""
+        masks = sky.pim_id_masks(PimLevel.BANKGROUP)
+        assert masks[0] == sky.field_masks["bankgroup"][0]
+        assert masks[-1] == sky.field_masks["channel"][0]
+        assert len(masks) == 4
+        assert len(sky.pim_id_masks(PimLevel.DEVICE)) == 2
+        assert len(sky.pim_id_masks(PimLevel.CHANNEL)) == 1
+
+    def test_pim_ids_scalar_vs_vector(self, sky):
+        addrs = (np.arange(256, dtype=np.uint64)) * np.uint64(64)
+        for level in PimLevel:
+            vec = sky.pim_ids(addrs, level)
+            for a, v in zip(addrs, vec):
+                assert sky.pim_id(int(a), level) == int(v)
+
+    def test_block_pairs_share_pim(self, sky):
+        """§V-C: pairs of cache blocks are contiguous under Skylake."""
+        addrs = (np.arange(4096, dtype=np.uint64)) * np.uint64(64)
+        ids = sky.pim_ids(addrs, PimLevel.BANKGROUP)
+        assert np.array_equal(ids[0::2], ids[1::2])
+
+
+class TestToyMapping:
+    def test_toy_invertible_and_small(self):
+        toy = make_toy_mapping()
+        assert toy.geometry.address_bits == 11
+        addrs = np.arange(0, toy.geometry.capacity_bytes, 4, dtype=np.uint64)
+        ids = toy.pim_ids(addrs, PimLevel.DEVICE)
+        # 4 rank-level PIMs, each owning a quarter of the space.
+        vals, counts = np.unique(ids, return_counts=True)
+        assert len(vals) == 4
+        assert len(set(counts)) == 1
+
+    def test_describe_mentions_fields(self):
+        txt = make_toy_mapping().describe()
+        for f in ("channel", "rank", "bankgroup", "bank", "row", "column"):
+            assert f in txt
