@@ -19,6 +19,7 @@ from repro.experiments import (
     fig12_scratchpad,
     fig13_colocation,
     fig14_energy,
+    serve_online,
 )
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
@@ -37,6 +38,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig14": fig14_energy.run,
     "claims": claims.run,
     "ablations": ablations.run,
+    "serve": serve_online.run,
 }
 
 

@@ -1,9 +1,34 @@
-"""Query serving on a StepStone system: batch splitting and hybrid dispatch."""
+"""Query serving on a StepStone system: batch splitting, hybrid dispatch,
+and request-level online serving on a simulated clock."""
 
+from repro.serving.engine import (
+    POLICIES,
+    CompletedRequest,
+    OnlineServingEngine,
+    RejectedRequest,
+    Request,
+    ServingReport,
+    merge_streams,
+    poisson_requests,
+    uniform_requests,
+)
 from repro.serving.scheduler import (
     BatchServer,
     HybridSplit,
     ServingPoint,
 )
 
-__all__ = ["BatchServer", "HybridSplit", "ServingPoint"]
+__all__ = [
+    "BatchServer",
+    "HybridSplit",
+    "ServingPoint",
+    "POLICIES",
+    "Request",
+    "CompletedRequest",
+    "RejectedRequest",
+    "ServingReport",
+    "OnlineServingEngine",
+    "poisson_requests",
+    "uniform_requests",
+    "merge_streams",
+]

@@ -1,0 +1,380 @@
+"""Request-level online serving engine on a simulated clock.
+
+The batch policies in :mod:`repro.serving.scheduler` answer "how fast is one
+batch"; this module answers the paper's *online* question (§V-A: throughput
+under a latency constraint, §I: the CPU stays free for concurrent work):
+given a stream of timestamped inference requests, what latency distribution
+and sustained throughput does each dispatch policy deliver?
+
+The engine is a deterministic discrete-event simulator:
+
+* requests arrive on a simulated clock (Poisson or uniform streams, seeded);
+* while the memory system is busy serving one batch, later arrivals queue;
+* when it frees up, the engine forms the next batch FIFO from the oldest
+  pending request's model (batches never mix models), capped at
+  ``max_batch`` requests;
+* requests that can no longer meet their latency SLO — queueing delay plus
+  the predicted batch service time — are rejected at admission, shrinking
+  the batch until every admitted request fits its SLO;
+* the batch dispatches under one of three policies: ``cpu`` (all GEMMs on
+  the measured-CPU model), ``pim`` (StepStone chunked splitting, §V-B), or
+  ``hybrid`` (the per-GEMM concurrent CPU+PIM split of
+  :meth:`~repro.serving.scheduler.BatchServer.hybrid_split`).
+
+Batch service time composes per-GEMM latencies across a model's invocations
+(via :func:`repro.models.layers.pow2_partition`, like the Fig. 8 engine) and
+adds the model's CPU-resident ops; everything is memoized so long streams
+cost O(requests), not O(requests x GEMMs).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.models.inference import all_models
+from repro.models.layers import ModelSpec, pow2_partition
+from repro.serving.scheduler import BatchServer
+
+__all__ = [
+    "POLICIES",
+    "Request",
+    "CompletedRequest",
+    "RejectedRequest",
+    "ServingReport",
+    "OnlineServingEngine",
+    "poisson_requests",
+    "uniform_requests",
+    "merge_streams",
+]
+
+#: Dispatch policies understood by :meth:`OnlineServingEngine.run`.
+POLICIES: Tuple[str, ...] = ("cpu", "pim", "hybrid")
+
+
+# ---------------------------------------------------------------------- #
+# Requests and outcomes
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Request:
+    """One timestamped inference request for one model."""
+
+    req_id: int
+    model: str
+    arrival_s: float
+    #: End-to-end latency bound (queueing + service); ``None`` = best effort.
+    slo_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival time must be non-negative")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError("SLO must be positive when given")
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """A served request with its queueing/service accounting."""
+
+    request: Request
+    dispatch_s: float
+    finish_s: float
+    batch: int
+
+    @property
+    def queue_s(self) -> float:
+        return self.dispatch_s - self.request.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        return self.finish_s - self.dispatch_s
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.request.arrival_s
+
+
+@dataclass(frozen=True)
+class RejectedRequest:
+    """A request dropped at admission because its SLO became infeasible."""
+
+    request: Request
+    rejected_at_s: float
+
+
+@dataclass
+class ServingReport:
+    """Latency distribution and sustained throughput of one policy run."""
+
+    policy: str
+    completed: List[CompletedRequest] = field(default_factory=list)
+    rejected: List[RejectedRequest] = field(default_factory=list)
+    sim_end_s: float = 0.0
+    _sorted_lat: List[float] = field(default_factory=list, repr=False, compare=False)
+
+    @property
+    def offered(self) -> int:
+        return len(self.completed) + len(self.rejected)
+
+    @property
+    def latencies_s(self) -> List[float]:
+        """Completed-request latencies, sorted (memoized until new
+        completions arrive)."""
+        if len(self._sorted_lat) != len(self.completed):
+            self._sorted_lat = sorted(c.latency_s for c in self.completed)
+        return self._sorted_lat
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of completed-request latency (seconds)."""
+        if not 0 < q <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        lats = self.latencies_s
+        if not lats:
+            return math.nan
+        rank = max(1, math.ceil(q / 100.0 * len(lats)))
+        return lats[rank - 1]
+
+    @property
+    def p50_s(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p95_s(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def p99_s(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def mean_queue_s(self) -> float:
+        if not self.completed:
+            return math.nan
+        return sum(c.queue_s for c in self.completed) / len(self.completed)
+
+    @property
+    def mean_service_s(self) -> float:
+        if not self.completed:
+            return math.nan
+        return sum(c.service_s for c in self.completed) / len(self.completed)
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.completed:
+            return math.nan
+        return sum(c.batch for c in self.completed) / len(self.completed)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Sustained rate: completed requests per simulated second."""
+        if self.sim_end_s <= 0:
+            return 0.0
+        return len(self.completed) / self.sim_end_s
+
+    def summary(self) -> str:
+        return (
+            f"{self.policy:>6}: {len(self.completed)} served, "
+            f"{len(self.rejected)} rejected | "
+            f"p50 {self.p50_s * 1e3:.2f} ms, p99 {self.p99_s * 1e3:.2f} ms | "
+            f"{self.throughput_rps:.0f} req/s "
+            f"(mean batch {self.mean_batch:.1f})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Arrival streams (seeded, deterministic)
+# ---------------------------------------------------------------------- #
+
+
+def poisson_requests(
+    model: str,
+    rate_rps: float,
+    duration_s: float,
+    seed: int = 0,
+    slo_s: Optional[float] = None,
+    start_id: int = 0,
+) -> List[Request]:
+    """Open-loop Poisson arrivals at ``rate_rps`` over ``duration_s``."""
+    if rate_rps <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    rng = random.Random(seed)
+    out: List[Request] = []
+    t = 0.0
+    i = start_id
+    while True:
+        t += rng.expovariate(rate_rps)
+        if t >= duration_s:
+            return out
+        out.append(Request(req_id=i, model=model, arrival_s=t, slo_s=slo_s))
+        i += 1
+
+
+def uniform_requests(
+    model: str,
+    rate_rps: float,
+    duration_s: float,
+    slo_s: Optional[float] = None,
+    start_id: int = 0,
+) -> List[Request]:
+    """Evenly spaced arrivals at ``rate_rps`` over ``duration_s``.
+
+    Delivers exactly ``round(rate_rps * duration_s)`` requests, the first
+    at t=0 — so ``len(requests) / duration_s`` matches the asked-for rate.
+    """
+    if rate_rps <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    gap = 1.0 / rate_rps
+    n = int(round(duration_s * rate_rps))
+    return [
+        Request(req_id=start_id + i, model=model, arrival_s=i * gap, slo_s=slo_s)
+        for i in range(n)
+    ]
+
+
+def merge_streams(*streams: Sequence[Request]) -> List[Request]:
+    """Merge per-model streams into one arrival-ordered stream."""
+    merged = [r for s in streams for r in s]
+    merged.sort(key=lambda r: (r.arrival_s, r.req_id))
+    return merged
+
+
+# ---------------------------------------------------------------------- #
+# The engine
+# ---------------------------------------------------------------------- #
+
+
+class OnlineServingEngine:
+    """Simulated-clock online serving of model inference request streams."""
+
+    def __init__(
+        self,
+        server: Optional[BatchServer] = None,
+        models: Optional[Dict[str, ModelSpec]] = None,
+        max_batch: int = 64,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.server = server or BatchServer()
+        self.models = dict(models) if models is not None else all_models()
+        self.max_batch = max_batch
+        self._latency_cache: Dict[Tuple[str, str, int], float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Batch service-time model
+    # ------------------------------------------------------------------ #
+
+    def batch_latency(self, model: str, policy: str, batch: int) -> float:
+        """Service seconds for one batch of ``batch`` requests of ``model``.
+
+        Per-GEMM latencies compose across the model's invocations, tiled to
+        powers of two like the Fig. 8 engine; the activation dimension scales
+        with the request batch.  CPU-resident ops (attention, softmax, ...)
+        always run on the CPU and are charged to every policy.
+        """
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        key = (model, policy, batch)
+        hit = self._latency_cache.get(key)
+        if hit is not None:
+            return hit
+        try:
+            spec = self.models[model]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown model {model!r}; available: {sorted(self.models)}"
+            ) from exc
+        srv = self.server
+        total = 0.0
+        for inv in spec.gemms:
+            n = max(1, (inv.shape.n * batch) // spec.batch_size)
+            for tile in pow2_partition(inv.shape):
+                if policy == "cpu":
+                    t = srv.cpu_latency(tile.m, tile.k, n)
+                elif policy == "pim":
+                    t = srv.pim_latency(tile.m, tile.k, n)
+                else:
+                    t = srv.hybrid_split(tile.m, tile.k, n).latency_s
+                total += t * inv.count
+        total += spec.cpu_other_seconds(srv.cpu.config) * batch / spec.batch_size
+        self._latency_cache[key] = total
+        return total
+
+    def min_latency(self, model: str, policy: str) -> float:
+        """Best-case (batch-1, zero-queue) latency — the SLO feasibility floor."""
+        return self.batch_latency(model, policy, 1)
+
+    # ------------------------------------------------------------------ #
+    # Simulation loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, requests: Iterable[Request], policy: str) -> ServingReport:
+        """Serve an arrival-ordered request stream under one policy."""
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        pending = deque(sorted(requests, key=lambda r: (r.arrival_s, r.req_id)))
+        report = ServingReport(policy=policy)
+        if not pending:
+            return report
+        last_arrival = pending[-1].arrival_s
+        queue: List[Request] = []
+        clock = 0.0
+        while pending or queue:
+            if not queue:
+                clock = max(clock, pending[0].arrival_s)
+            while pending and pending[0].arrival_s <= clock:
+                queue.append(pending.popleft())
+            # FIFO batch from the oldest request's model only.
+            head_model = queue[0].model
+            batch = [r for r in queue if r.model == head_model][: self.max_batch]
+            # SLO admission: drop requests whose wait + predicted service
+            # exceeds their bound, one at a time (least SLO headroom first) —
+            # a smaller batch serves faster, so a violator at this size may
+            # fit at the next, and mass rejection would overshoot.
+            rejected_now: List[Request] = []
+            service = 0.0
+            while batch:
+                service = self.batch_latency(head_model, policy, len(batch))
+                violators = [
+                    r
+                    for r in batch
+                    if r.slo_s is not None
+                    and (clock - r.arrival_s) + service > r.slo_s
+                ]
+                if not violators:
+                    break
+                worst = min(violators, key=lambda r: r.slo_s - (clock - r.arrival_s))
+                rejected_now.append(worst)
+                batch = [r for r in batch if r is not worst]
+            for r in rejected_now:
+                report.rejected.append(RejectedRequest(request=r, rejected_at_s=clock))
+            if batch:
+                finish = clock + service
+                for r in batch:
+                    report.completed.append(
+                        CompletedRequest(
+                            request=r,
+                            dispatch_s=clock,
+                            finish_s=finish,
+                            batch=len(batch),
+                        )
+                    )
+                clock = finish
+            # Remove by object identity: req_ids are caller-chosen and may
+            # collide across merged streams.
+            removed = {id(r) for r in batch} | {id(r) for r in rejected_now}
+            queue = [r for r in queue if id(r) not in removed]
+        report.sim_end_s = max(clock, last_arrival)
+        return report
+
+    def run_policies(
+        self, requests: Sequence[Request], policies: Sequence[str] = POLICIES
+    ) -> Dict[str, ServingReport]:
+        """Serve the same stream under several policies (shared arrivals)."""
+        return {p: self.run(list(requests), p) for p in policies}

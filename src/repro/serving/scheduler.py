@@ -119,13 +119,29 @@ class BatchServer:
             n += self.max_pim_batch
         return best
 
+    def _candidate_batches(self, n_max: int) -> Tuple[int, ...]:
+        """Batch sizes worth probing: powers of two (the classic sweep) plus
+        every multiple of ``max_pim_batch``, where PIM chunking is exact."""
+        cands = set()
+        n = 1
+        while n <= n_max:
+            cands.add(n)
+            n *= 2
+        cands.update(range(self.max_pim_batch, n_max + 1, self.max_pim_batch))
+        return tuple(sorted(cands))
+
     def throughput_under_latency(
         self, m: int, k: int, constraint_s: float, n_max: int = 1024
     ) -> ServingPoint:
-        """Max-throughput batch meeting a latency constraint (§V-A)."""
+        """Max-throughput batch meeting a latency constraint (§V-A).
+
+        Probes powers of two *and* multiples of ``max_pim_batch``: chunk
+        multiples are where PIM splitting is exact, and on the CPU side the
+        fixed weight-streaming cost amortizes further at every extra sample,
+        so the best feasible batch is often not a power of two.
+        """
         best: Optional[ServingPoint] = None
-        n = 1
-        while n <= n_max:
+        for n in self._candidate_batches(n_max):
             for backend, t in (
                 ("pim", self.pim_latency(m, k, n)),
                 ("cpu", self.cpu_latency(m, k, n)),
@@ -134,7 +150,6 @@ class BatchServer:
                     p = ServingPoint(batch=n, latency_s=t, backend=backend)
                     if best is None or p.throughput > best.throughput:
                         best = p
-            n *= 2
         if best is None:
             raise ValueError(f"no batch meets the {constraint_s:.2e}s constraint")
         return best
@@ -148,13 +163,21 @@ class BatchServer:
         """
         if n <= 0:
             raise ValueError("batch must be positive")
-        best = HybridSplit(cpu_batch=0, pim_batch=n, latency_s=self.pim_latency(m, k, n))
         step = self.max_pim_batch
-        for cpu_share in range(0, n + 1, step):
+        # CPU shares in chunk quanta, the *remainder* shares that leave the
+        # PIM side an exact multiple of the chunk, and always both endpoints
+        # (0 = all-PIM, n = all-CPU) — so a batch smaller than one chunk, or
+        # one whose tail chunk is slow, can still fall back to pure CPU.
+        shares = {0, n}
+        shares.update(range(step, n, step))
+        shares.update(n - j for j in range(step, n, step))
+        best: Optional[HybridSplit] = None
+        for cpu_share in sorted(shares):
             pim_share = n - cpu_share
             t_cpu = self.cpu_latency(m, k, cpu_share) if cpu_share else 0.0
             t_pim = self.pim_latency(m, k, pim_share) if pim_share else 0.0
             t = max(t_cpu, t_pim)
-            if t < best.latency_s:
+            if best is None or t < best.latency_s:
                 best = HybridSplit(cpu_batch=cpu_share, pim_batch=pim_share, latency_s=t)
+        assert best is not None
         return best

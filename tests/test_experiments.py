@@ -25,6 +25,7 @@ class TestRegistry:
             "fig14",
             "claims",
             "ablations",
+            "serve",
         }
 
     def test_unknown_id_raises(self):

@@ -53,6 +53,28 @@ class TestClaims:
         with pytest.raises(ValueError):
             srv.throughput_under_latency(1024, 4096, 1e-9)
 
+    def test_probes_chunk_multiples_not_just_pow2(self, srv):
+        """Regression: a power-of-two-only sweep misses the best batch.
+
+        With the constraint set to the CPU latency of batch 416 (a multiple
+        of the 32-sample chunk), the pow2 sweep tops out at 256 (512 misses
+        the constraint) while 416 amortizes the weight stream further and is
+        strictly better.
+        """
+        m, k = 1024, 4096
+        constraint = srv.cpu_latency(m, k, 416)
+        pow2_best = 0.0
+        n = 1
+        while n <= 1024:
+            for t in (srv.pim_latency(m, k, n), srv.cpu_latency(m, k, n)):
+                if t <= constraint:
+                    pow2_best = max(pow2_best, n / t)
+            n *= 2
+        p = srv.throughput_under_latency(m, k, constraint, n_max=1024)
+        assert p.batch % srv.max_pim_batch == 0
+        assert p.batch == 416
+        assert p.throughput > pow2_best
+
 
 class TestHybrid:
     def test_hybrid_no_worse_than_pim_only(self, srv):
@@ -73,6 +95,33 @@ class TestHybrid:
     def test_invalid_batch(self, srv):
         with pytest.raises(ValueError):
             srv.hybrid_split(1024, 4096, 0)
+
+    def test_hybrid_evaluates_all_cpu_endpoint(self):
+        """Regression: for n=40 < one 64-sample chunk, the old chunk-quanta
+        share grid was {0}, so the all-CPU split was never evaluated even
+        when the CPU wins the whole batch outright."""
+        srv = BatchServer(max_pim_batch=64)
+        m, k, n = 256, 256, 40
+        assert srv.cpu_latency(m, k, n) < srv.pim_latency(m, k, n)
+        h = srv.hybrid_split(m, k, n)
+        assert h.cpu_batch == n and h.pim_batch == 0
+        assert h.latency_s == pytest.approx(srv.cpu_latency(m, k, n))
+
+    def test_hybrid_never_worse_than_either_backend(self, srv):
+        """With both endpoints in the share grid, the hybrid split is a
+        relaxation of single-backend dispatch for any n, pow2 or not."""
+        for m, k, n in [(256, 256, 40), (1024, 4096, 40), (1024, 4096, 100)]:
+            h = srv.hybrid_split(m, k, n)
+            assert h.total == n
+            assert h.latency_s <= srv.cpu_latency(m, k, n)
+            assert h.latency_s <= srv.pim_latency(m, k, n)
+
+    def test_hybrid_probes_remainder_shares(self, srv):
+        """CPU shares that leave the PIM side an exact chunk multiple are in
+        the grid: for n=40 the winning split keeps 8 samples off the PIMs."""
+        h = srv.hybrid_split(256, 256, 40)
+        assert h.cpu_batch in (32, 8, 40)  # quanta, remainder, or endpoint
+        assert h.pim_batch + h.cpu_batch == 40
 
     def test_chunk_cache_reused(self):
         srv = BatchServer()

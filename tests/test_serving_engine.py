@@ -1,0 +1,235 @@
+"""Tests for the request-level online serving engine."""
+
+import math
+
+import pytest
+
+from repro.serving import (
+    POLICIES,
+    OnlineServingEngine,
+    Request,
+    ServingReport,
+    merge_streams,
+    poisson_requests,
+    uniform_requests,
+)
+
+
+@pytest.fixture(scope="module")
+def eng():
+    return OnlineServingEngine()
+
+
+class TestStreams:
+    def test_poisson_deterministic(self):
+        a = poisson_requests("BERT", rate_rps=100, duration_s=1.0, seed=3)
+        b = poisson_requests("BERT", rate_rps=100, duration_s=1.0, seed=3)
+        assert [r.arrival_s for r in a] == [r.arrival_s for r in b]
+
+    def test_poisson_rate_roughly_respected(self):
+        reqs = poisson_requests("BERT", rate_rps=500, duration_s=4.0, seed=0)
+        assert 1500 < len(reqs) < 2500  # ~2000 expected
+
+    def test_uniform_spacing(self):
+        reqs = uniform_requests("BERT", rate_rps=10, duration_s=1.0)
+        gaps = [b.arrival_s - a.arrival_s for a, b in zip(reqs, reqs[1:])]
+        assert all(g == pytest.approx(0.1) for g in gaps)
+
+    def test_uniform_delivers_exact_rate(self):
+        """Regression: the last arrival used to land on duration_s and get
+        filtered, understating the asked-for rate by one request."""
+        reqs = uniform_requests("BERT", rate_rps=10, duration_s=1.0)
+        assert len(reqs) == 10
+        assert reqs[0].arrival_s == 0.0
+        assert reqs[-1].arrival_s < 1.0
+
+    def test_merge_orders_by_arrival(self):
+        a = uniform_requests("BERT", rate_rps=7, duration_s=1.0, start_id=0)
+        b = uniform_requests("DLRM", rate_rps=11, duration_s=1.0, start_id=1000)
+        merged = merge_streams(a, b)
+        assert len(merged) == len(a) + len(b)
+        arrivals = [r.arrival_s for r in merged]
+        assert arrivals == sorted(arrivals)
+
+    def test_invalid_stream_params(self):
+        with pytest.raises(ValueError):
+            poisson_requests("BERT", rate_rps=0, duration_s=1.0)
+        with pytest.raises(ValueError):
+            uniform_requests("BERT", rate_rps=10, duration_s=0)
+
+    def test_invalid_request(self):
+        with pytest.raises(ValueError):
+            Request(req_id=0, model="BERT", arrival_s=-1.0)
+        with pytest.raises(ValueError):
+            Request(req_id=0, model="BERT", arrival_s=0.0, slo_s=0.0)
+
+
+class TestBatchLatency:
+    def test_unknown_policy_and_model(self, eng):
+        with pytest.raises(ValueError, match="unknown policy"):
+            eng.batch_latency("BERT", "gpu", 4)
+        with pytest.raises(KeyError, match="unknown model"):
+            eng.batch_latency("LLAMA", "cpu", 4)
+        with pytest.raises(ValueError):
+            eng.batch_latency("BERT", "cpu", 0)
+
+    def test_monotone_in_batch(self, eng):
+        for policy in POLICIES:
+            t1 = eng.batch_latency("BERT", policy, 1)
+            t8 = eng.batch_latency("BERT", policy, 8)
+            t64 = eng.batch_latency("BERT", policy, 64)
+            assert 0 < t1 <= t8 <= t64
+
+    def test_hybrid_no_worse_than_best_single(self, eng):
+        """The hybrid split's service time lower-bounds either backend for
+        every model and batch size (its share grid includes both endpoints)."""
+        for model in ("BERT", "DLRM", "XLM"):
+            for batch in (1, 3, 17, 32, 64):
+                hybrid = eng.batch_latency(model, "hybrid", batch)
+                single = min(
+                    eng.batch_latency(model, "cpu", batch),
+                    eng.batch_latency(model, "pim", batch),
+                )
+                assert hybrid <= single + 1e-15
+
+    def test_latency_cache_hit(self, eng):
+        t1 = eng.batch_latency("BERT", "pim", 5)
+        assert ("BERT", "pim", 5) in eng._latency_cache
+        assert eng.batch_latency("BERT", "pim", 5) == t1
+
+
+class TestEngineRuns:
+    def test_empty_stream(self, eng):
+        rep = eng.run([], "pim")
+        assert rep.completed == [] and rep.rejected == []
+        assert math.isnan(rep.p50_s)
+        assert rep.throughput_rps == 0.0
+
+    def test_unknown_policy(self, eng):
+        with pytest.raises(ValueError, match="unknown policy"):
+            eng.run([Request(0, "BERT", 0.0)], "tpu")
+
+    def test_deterministic_same_seed(self, eng):
+        reqs = poisson_requests("BERT", rate_rps=200, duration_s=1.0, seed=11, slo_s=3.0)
+        a = eng.run(reqs, "hybrid")
+        b = eng.run(reqs, "hybrid")
+        assert len(a.completed) == len(b.completed)
+        assert (a.p50_s, a.p95_s, a.p99_s) == (b.p50_s, b.p95_s, b.p99_s)
+        assert a.throughput_rps == b.throughput_rps
+
+    def test_all_served_no_slo(self, eng):
+        reqs = poisson_requests("BERT", rate_rps=100, duration_s=1.0, seed=5)
+        rep = eng.run(reqs, "hybrid")
+        assert len(rep.completed) == len(reqs)
+        assert not rep.rejected
+
+    def test_slo_rejects_infeasible_requests(self, eng):
+        """A request whose SLO is below the batch-1 service floor can never
+        be served — admission rejects it instead of blowing the bound."""
+        floor = eng.min_latency("BERT", "pim")
+        reqs = poisson_requests(
+            "BERT", rate_rps=50, duration_s=0.5, seed=2, slo_s=floor / 2
+        )
+        rep = eng.run(reqs, "pim")
+        assert not rep.completed
+        assert len(rep.rejected) == len(reqs)
+
+    def test_completed_latencies_respect_slo(self, eng):
+        slo = 30 * eng.min_latency("BERT", "cpu")
+        reqs = poisson_requests("BERT", rate_rps=400, duration_s=1.0, seed=9, slo_s=slo)
+        rep = eng.run(reqs, "hybrid")
+        assert rep.completed
+        assert max(c.latency_s for c in rep.completed) <= slo
+
+    def test_fifo_and_accounting(self, eng):
+        reqs = uniform_requests("BERT", rate_rps=120, duration_s=1.0)
+        rep = eng.run(reqs, "cpu")
+        assert len(rep.completed) == len(reqs)
+        for c in rep.completed:
+            assert c.queue_s >= 0
+            assert c.service_s > 0
+            assert c.latency_s == pytest.approx(c.queue_s + c.service_s)
+            assert 1 <= c.batch <= eng.max_batch
+        finishes = [c.finish_s for c in rep.completed]
+        assert finishes == sorted(finishes)  # FIFO batches finish in order
+
+    def test_max_batch_respected(self):
+        small = OnlineServingEngine(max_batch=4)
+        reqs = uniform_requests("DLRM", rate_rps=1000, duration_s=0.05)
+        rep = small.run(reqs, "pim")
+        assert rep.completed
+        assert max(c.batch for c in rep.completed) <= 4
+
+    def test_invalid_max_batch(self):
+        with pytest.raises(ValueError):
+            OnlineServingEngine(max_batch=0)
+
+    def test_colliding_req_ids_across_streams(self, eng):
+        """Regression: queue bookkeeping used req_id, so merged streams with
+        overlapping ids silently dropped requests."""
+        a = Request(req_id=0, model="BERT", arrival_s=0.0)
+        b = Request(req_id=0, model="DLRM", arrival_s=0.0)
+        rep = eng.run([a, b], "pim")
+        assert len(rep.completed) == 2
+        assert not rep.rejected
+
+    def test_slo_admission_shrinks_before_mass_reject(self, eng):
+        """Regression: two simultaneous requests whose SLO admits batch 1
+        but not batch 2 — admission must serve one, not reject both."""
+        s1 = eng.batch_latency("BERT", "cpu", 1)
+        s2 = eng.batch_latency("BERT", "cpu", 2)
+        assert s1 < s2
+        slo = (s1 + s2) / 2
+        reqs = [Request(i, "BERT", 0.0, slo_s=slo) for i in range(2)]
+        rep = eng.run(reqs, "cpu")
+        assert len(rep.completed) >= 1
+        assert all(c.latency_s <= slo for c in rep.completed)
+
+    def test_batches_never_mix_models(self, eng):
+        a = poisson_requests("BERT", rate_rps=60, duration_s=0.5, seed=1, start_id=0)
+        b = poisson_requests("DLRM", rate_rps=600, duration_s=0.5, seed=2, start_id=10_000)
+        rep = eng.run(merge_streams(a, b), "hybrid")
+        assert len(rep.completed) == len(a) + len(b)
+        by_dispatch = {}
+        for c in rep.completed:
+            by_dispatch.setdefault(c.dispatch_s, set()).add(c.request.model)
+        assert all(len(models) == 1 for models in by_dispatch.values())
+
+    def test_hybrid_policy_never_worse_throughput(self, eng):
+        """Overload BERT: hybrid sustains at least the best single backend."""
+        reqs = poisson_requests("BERT", rate_rps=300, duration_s=1.5, seed=7, slo_s=2.0)
+        reports = eng.run_policies(reqs)
+        best_single = max(
+            reports["cpu"].throughput_rps, reports["pim"].throughput_rps
+        )
+        assert reports["hybrid"].throughput_rps >= best_single - 1e-9
+
+
+class TestReport:
+    def test_percentiles_nearest_rank(self):
+        rep = ServingReport(policy="cpu")
+        reqs = [Request(i, "BERT", 0.0) for i in range(10)]
+        from repro.serving import CompletedRequest
+
+        for i, r in enumerate(reqs):
+            rep.completed.append(
+                CompletedRequest(request=r, dispatch_s=0.0, finish_s=float(i + 1), batch=1)
+            )
+        rep.sim_end_s = 10.0
+        assert rep.p50_s == 5.0
+        assert rep.p99_s == 10.0
+        assert rep.latency_percentile(100) == 10.0
+        assert rep.throughput_rps == 1.0
+
+    def test_percentile_validation(self):
+        rep = ServingReport(policy="cpu")
+        with pytest.raises(ValueError):
+            rep.latency_percentile(0)
+        with pytest.raises(ValueError):
+            rep.latency_percentile(101)
+
+    def test_summary_renders(self, eng):
+        reqs = poisson_requests("DLRM", rate_rps=2000, duration_s=0.05, seed=4)
+        rep = eng.run(reqs, "pim")
+        s = rep.summary()
+        assert "pim" in s and "p50" in s and "req/s" in s
