@@ -1,0 +1,67 @@
+"""Fleet-serving harness: the cluster simulator's hot paths.
+
+Regenerates the ``serve-cluster`` experiment (routing, scaling, and
+capacity planning over simulated StepStone fleets) and benchmarks the
+simulator directly: a skewed three-model stream across a 3-node fleet per
+routing policy, and one capacity-planner binary search.
+"""
+
+from repro.cluster import CapacityPlanner, Cluster
+from repro.experiments.serve_cluster import skew_placement, skew_stream
+from repro.serving import OnlineServingEngine
+
+
+def test_serve_cluster_experiment(run_bench):
+    run_bench("serve-cluster")
+
+
+def test_cluster_skewed_fleet_all_routers(benchmark, perf_record):
+    """One skewed stream across a 3-node hybrid fleet, all three routers."""
+    engine = OnlineServingEngine()
+    placement = skew_placement()
+    stream = skew_stream(engine, duration_s=1.0)
+
+    def run():
+        return {
+            router: Cluster(
+                3, policy="hybrid", router=router, engine=engine, placement=placement
+            ).run(stream)
+            for router in ("round-robin", "least-loaded", "affinity")
+        }
+
+    reports = benchmark.pedantic(run, rounds=2, iterations=1)
+    perf_record(
+        "skewed_fleet_all_routers",
+        benchmark,
+        requests=len(stream),
+        jsq_goodput_rps=round(reports["least-loaded"].goodput_rps, 2),
+        rr_goodput_rps=round(reports["round-robin"].goodput_rps, 2),
+    )
+    assert (
+        reports["least-loaded"].goodput_rps
+        >= reports["round-robin"].goodput_rps - 1e-9
+    )
+
+
+def test_capacity_planner_search(benchmark, perf_record):
+    """Binary-search fleet sizing for a 90/10 BERT/DLRM mix (hybrid)."""
+    engine = OnlineServingEngine()
+    planner = CapacityPlanner(
+        {"BERT": 0.9, "DLRM": 0.1},
+        engine=engine,
+        n_requests=150,
+        window_slos=2.0,
+        seed=5,
+    )
+
+    def run():
+        return planner.min_nodes("hybrid", target_rps=300, p99_slo_s=1.0, max_nodes=16)
+
+    plan = benchmark.pedantic(run, rounds=2, iterations=1)
+    perf_record(
+        "capacity_planner_search",
+        benchmark,
+        nodes=plan.nodes,
+        probes=len(plan.probes),
+    )
+    assert plan.nodes >= 1

@@ -12,7 +12,7 @@ def test_serve_experiment(run_bench):
     run_bench("serve")
 
 
-def test_serving_bert_overload_sweep(benchmark):
+def test_serving_bert_overload_sweep(benchmark, perf_record):
     """One overloaded BERT stream simulated under all three policies."""
     engine = OnlineServingEngine()
     requests = poisson_requests(
@@ -23,11 +23,17 @@ def test_serving_bert_overload_sweep(benchmark):
         return engine.run_policies(requests)
 
     reports = benchmark.pedantic(run, rounds=2, iterations=1)
+    perf_record(
+        "bert_overload_sweep",
+        benchmark,
+        requests=len(requests),
+        hybrid_rps=round(reports["hybrid"].throughput_rps, 2),
+    )
     best_single = max(reports["cpu"].throughput_rps, reports["pim"].throughput_rps)
     assert reports["hybrid"].throughput_rps >= best_single - 1e-9
 
 
-def test_serving_batch_latency_model_cold(benchmark):
+def test_serving_batch_latency_model_cold(benchmark, perf_record):
     """Cold-cache cost of the per-batch service-time model (all policies,
     batch sizes 1..64) — the price of admitting one new operating point."""
 
@@ -39,4 +45,9 @@ def test_serving_batch_latency_model_cold(benchmark):
         return engine
 
     engine = benchmark.pedantic(run, rounds=2, iterations=1)
+    perf_record(
+        "batch_latency_model_cold",
+        benchmark,
+        cache_entries=len(engine._latency_cache),
+    )
     assert len(engine._latency_cache) == 12

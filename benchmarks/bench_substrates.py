@@ -16,7 +16,7 @@ from repro.mapping.presets import make_skylake
 SKY = make_skylake()
 
 
-def test_controller_row_hit_stream(benchmark):
+def test_controller_row_hit_stream(benchmark, perf_record):
     def run():
         ctl = ChannelController(refresh=False)
         reqs = [
@@ -26,6 +26,7 @@ def test_controller_row_hit_stream(benchmark):
         return ctl.run(reqs)
 
     stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    perf_record("controller_row_hit_stream", benchmark, reads=stats.reads)
     assert stats.reads == 3000
 
 
@@ -43,11 +44,12 @@ def test_stream_model_scaling(benchmark, n):
     assert stats.accesses == n
 
 
-def test_mapping_vectorized_throughput(benchmark):
+def test_mapping_vectorized_throughput(benchmark, perf_record):
     addrs = np.arange(1_000_000, dtype=np.uint64) * np.uint64(64)
 
     def run():
         return SKY.coords_arrays(addrs)
 
     coords = benchmark(run)
+    perf_record("mapping_vectorized_1M", benchmark, addresses=1_000_000)
     assert len(coords["row"]) == 1_000_000

@@ -1,0 +1,51 @@
+"""Multi-node fleet serving on simulated StepStone nodes.
+
+The paper frames StepStone PIM as a datacenter substrate: cheap bandwidth
+per node that a provider deploys as a *fleet*.  This package adds the layer
+above :mod:`repro.serving` — many nodes on one shared simulated clock:
+
+* :mod:`~repro.cluster.placement` — replicated, memory-capacity-aware
+  assignment of model weights to nodes;
+* :mod:`~repro.cluster.router` — pluggable request routing (round-robin,
+  join-shortest-queue, model affinity with replica spillover);
+* :mod:`~repro.cluster.node` — one StepStone node: queue, FIFO per-model
+  batching, SLO admission, and the per-node dispatch policy;
+* :mod:`~repro.cluster.fleet` — the discrete-event fleet simulator and its
+  aggregated :class:`~repro.cluster.fleet.ClusterReport`;
+* :mod:`~repro.cluster.planner` — capacity planning: the minimum node
+  count sustaining a target load at a p99 SLO.
+"""
+
+from repro.cluster.fleet import Cluster, ClusterReport
+from repro.cluster.node import ClusterNode
+from repro.cluster.placement import (
+    DEFAULT_NODE_CAPACITY_BYTES,
+    ModelPlacement,
+    PlacementError,
+)
+from repro.cluster.planner import CapacityPlan, CapacityPlanner
+from repro.cluster.router import (
+    ROUTER_POLICIES,
+    AffinityRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterReport",
+    "ClusterNode",
+    "ModelPlacement",
+    "PlacementError",
+    "DEFAULT_NODE_CAPACITY_BYTES",
+    "CapacityPlan",
+    "CapacityPlanner",
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "AffinityRouter",
+    "ROUTER_POLICIES",
+    "make_router",
+]

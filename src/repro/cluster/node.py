@@ -1,0 +1,112 @@
+"""One StepStone node inside a simulated fleet.
+
+A node is the per-machine half of the fleet simulator: it owns a request
+queue, forms FIFO per-model batches exactly like the single-node
+:class:`~repro.serving.engine.OnlineServingEngine`, applies the same
+single-pass SLO admission, and charges batch service time through the
+engine's memoized :meth:`~repro.serving.engine.OnlineServingEngine.batch_latency`.
+Nodes share one engine instance so the latency model is computed once for
+the whole fleet, not once per node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.serving.engine import (
+    CompletedRequest,
+    OnlineServingEngine,
+    RejectedRequest,
+    Request,
+    ServingReport,
+    slo_admit,
+)
+
+__all__ = ["ClusterNode"]
+
+
+class ClusterNode:
+    """Queue + dispatch state of one node; driven by the fleet simulator."""
+
+    def __init__(
+        self,
+        node_id: int,
+        engine: OnlineServingEngine,
+        policy: str,
+        models: Optional[Set[str]] = None,
+        max_batch: Optional[int] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.engine = engine
+        self.policy = policy
+        self.models: Set[str] = set(models) if models else set()
+        self.max_batch = max_batch if max_batch is not None else engine.max_batch
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.queue: List[Request] = []
+        self.in_flight: List[Request] = []
+        self.busy_until: float = 0.0
+        self.busy_s: float = 0.0
+        self._dispatch_s: float = 0.0
+        self.report = ServingReport(policy=policy)
+
+    @property
+    def idle(self) -> bool:
+        return not self.in_flight
+
+    def backlog(self) -> int:
+        """Requests on this node (queued + in the running batch) — the
+        join-shortest-queue load signal."""
+        return len(self.queue) + len(self.in_flight)
+
+    def enqueue(self, request: Request) -> None:
+        if self.models and request.model not in self.models:
+            raise ValueError(
+                f"node {self.node_id} does not host {request.model!r}"
+            )
+        self.queue.append(request)
+
+    def try_dispatch(self, clock: float) -> Optional[float]:
+        """Launch the next admissible batch if idle; return its finish time.
+
+        Mirrors the single-node engine: the batch is FIFO from the oldest
+        queued request's model, capped at ``max_batch``, shrunk by SLO
+        admission.  If admission rejects an entire batch the loop moves on
+        to the next head-of-queue model.
+        """
+        while self.idle and self.queue:
+            head_model = self.queue[0].model
+            candidates = [r for r in self.queue if r.model == head_model][
+                : self.max_batch
+            ]
+            admitted, rejected, service = slo_admit(
+                candidates,
+                clock,
+                lambda size: self.engine.batch_latency(head_model, self.policy, size),
+            )
+            for r in rejected:
+                self.report.rejected.append(
+                    RejectedRequest(request=r, rejected_at_s=clock)
+                )
+            taken = {id(r) for r in admitted} | {id(r) for r in rejected}
+            self.queue = [r for r in self.queue if id(r) not in taken]
+            if admitted:
+                self.in_flight = admitted
+                self._dispatch_s = clock
+                self.busy_until = clock + service
+                self.busy_s += service
+                return self.busy_until
+        return None
+
+    def finish_batch(self, clock: float) -> None:
+        """Record the running batch's completions at ``clock``."""
+        for r in self.in_flight:
+            self.report.completed.append(
+                CompletedRequest(
+                    request=r,
+                    dispatch_s=self._dispatch_s,
+                    finish_s=clock,
+                    batch=len(self.in_flight),
+                )
+            )
+        self.in_flight = []

@@ -1,0 +1,106 @@
+"""Replicated, memory-capacity-aware model-to-node placement.
+
+A StepStone node holds model weights in its PIM-enabled main memory; a
+model can only be served by nodes that host a replica of its weights.
+Placement therefore decides both *feasibility* (weights must fit in each
+node's DRAM) and *load spread* (more replicas mean more nodes can absorb a
+model's traffic).
+
+The planner is a deterministic greedy *most-free-first* (worst-fit) pass:
+models are placed largest first, and each replica goes to the node with
+the most free memory that does not already hold one (ties break toward
+the lowest node id) — balancing weight bytes across nodes rather than
+packing them tightly.  The first replica of each model is its *primary* —
+the affinity router's preferred target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.models.inference import all_models
+from repro.models.layers import ModelSpec
+
+__all__ = ["DEFAULT_NODE_CAPACITY_BYTES", "PlacementError", "ModelPlacement"]
+
+#: Default per-node weight budget: one six-channel StepStone socket with
+#: buffered-DIMM capacities in the paper's deployment range (~128 GB).
+DEFAULT_NODE_CAPACITY_BYTES: float = 128e9
+
+
+class PlacementError(ValueError):
+    """No feasible assignment of model replicas to node memories."""
+
+
+@dataclass
+class ModelPlacement:
+    """An assignment of model-weight replicas to node ids."""
+
+    #: model -> node ids hosting a replica, primary first.
+    replicas: Dict[str, List[int]]
+    #: node id -> weight bytes placed on it.
+    used_bytes: Dict[int, float]
+    capacity_bytes: float = DEFAULT_NODE_CAPACITY_BYTES
+
+    @classmethod
+    def plan(
+        cls,
+        models: Optional[Mapping[str, ModelSpec]] = None,
+        n_nodes: int = 1,
+        replication: int = 1,
+        capacity_bytes: float = DEFAULT_NODE_CAPACITY_BYTES,
+    ) -> "ModelPlacement":
+        """Greedy most-free-first placement of ``replication`` copies per
+        model (worst-fit: balances bytes across nodes)."""
+        if n_nodes <= 0:
+            raise PlacementError("need at least one node")
+        if replication <= 0:
+            raise PlacementError("replication factor must be positive")
+        if replication > n_nodes:
+            raise PlacementError(
+                f"replication {replication} exceeds node count {n_nodes}"
+            )
+        specs = dict(models) if models is not None else all_models()
+        free = {nid: float(capacity_bytes) for nid in range(n_nodes)}
+        replicas: Dict[str, List[int]] = {}
+        # Largest models first so the tight placements happen while nodes
+        # are still empty; name tie-break keeps the plan deterministic.
+        order = sorted(specs, key=lambda m: (-specs[m].total_weight_bytes, m))
+        for name in order:
+            need = specs[name].total_weight_bytes
+            homes: List[int] = []
+            for _ in range(replication):
+                fits = [
+                    nid
+                    for nid, cap in free.items()
+                    if nid not in homes and cap >= need
+                ]
+                if not fits:
+                    raise PlacementError(
+                        f"cannot place replica of {name!r} "
+                        f"({need / 1e9:.1f} GB) on {n_nodes} nodes of "
+                        f"{capacity_bytes / 1e9:.1f} GB"
+                    )
+                target = max(fits, key=lambda nid: (free[nid], -nid))
+                free[target] -= need
+                homes.append(target)
+            replicas[name] = homes
+        used = {
+            nid: float(capacity_bytes) - cap for nid, cap in free.items()
+        }
+        return cls(replicas=replicas, used_bytes=used, capacity_bytes=capacity_bytes)
+
+    def nodes_for(self, model: str) -> List[int]:
+        """Replica node ids for ``model``, primary first."""
+        try:
+            return self.replicas[model]
+        except KeyError as exc:
+            raise KeyError(
+                f"model {model!r} has no placed replica; "
+                f"placed: {sorted(self.replicas)}"
+            ) from exc
+
+    def models_on(self, node_id: int) -> List[str]:
+        """Models whose weights live on ``node_id``."""
+        return sorted(m for m, homes in self.replicas.items() if node_id in homes)

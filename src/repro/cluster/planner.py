@@ -1,0 +1,213 @@
+"""Capacity planning: how many StepStone nodes does a workload need?
+
+The provisioning question the paper's cost argument implies: given a
+traffic mix (per-model request rates), a p99 latency SLO, and a per-node
+dispatch policy (``cpu`` / ``pim`` / ``hybrid``), find the minimum fleet
+size that sustains the load.  Feasibility at a node count is decided by
+simulating a seeded Poisson stream of the mix against the fleet (no
+admission drops — the planner wants the *raw* queueing tail) and checking
+the fleet-wide p99 against the SLO.
+
+More nodes split the same offered load further, so feasibility is
+monotone in the node count and a doubling search followed by binary
+search finds the frontier in O(log n) simulations.  All simulations share
+one engine, so the per-batch latency model is paid once across the whole
+search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.cluster.fleet import Cluster, ClusterReport
+from repro.cluster.placement import DEFAULT_NODE_CAPACITY_BYTES
+from repro.serving.engine import (
+    OnlineServingEngine,
+    Request,
+    merge_streams,
+    poisson_requests,
+)
+
+__all__ = ["CapacityPlan", "CapacityPlanner"]
+
+
+@dataclass
+class CapacityPlan:
+    """Outcome of one minimum-node search."""
+
+    policy: str
+    router: str
+    target_rps: float
+    p99_slo_s: float
+    nodes: int
+    report: ClusterReport
+    #: (node count, feasible?, p99 seconds) for every probe, search order.
+    probes: List[Tuple[int, bool, float]] = field(default_factory=list)
+
+
+class CapacityPlanner:
+    """Binary-search fleet sizing for a traffic mix under a p99 SLO."""
+
+    def __init__(
+        self,
+        mix: Mapping[str, float],
+        engine: Optional[OnlineServingEngine] = None,
+        router: str = "least-loaded",
+        replication: Optional[int] = None,
+        capacity_bytes: float = DEFAULT_NODE_CAPACITY_BYTES,
+        n_requests: int = 400,
+        window_slos: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        """``mix`` maps model name -> traffic share (normalized internally).
+
+        ``replication=None`` (default) replicates every mix model on every
+        node — the planner is sizing capacity, so a model pinned to fewer
+        replicas than nodes would cap its throughput regardless of fleet
+        size.  ``window_slos`` stretches feasibility-probe streams to at
+        least that many SLOs of arrivals: a fleet that is slowly falling
+        behind looks fine over a window shorter than the latency bound.
+        """
+        if not mix:
+            raise ValueError("traffic mix must name at least one model")
+        total = float(sum(mix.values()))
+        if total <= 0 or any(w < 0 for w in mix.values()):
+            raise ValueError("traffic shares must be non-negative, sum > 0")
+        self.mix: Dict[str, float] = {m: w / total for m, w in mix.items() if w > 0}
+        self.engine = engine or OnlineServingEngine()
+        for model in self.mix:
+            if model not in self.engine.models:
+                raise KeyError(f"mix model {model!r} unknown to the engine")
+        self.router = router
+        self.replication = replication
+        self.capacity_bytes = capacity_bytes
+        self.n_requests = n_requests
+        self.window_slos = window_slos
+        self.seed = seed
+
+    def stream(
+        self,
+        target_rps: float,
+        slo_s: Optional[float] = None,
+        duration_s: Optional[float] = None,
+    ) -> List[Request]:
+        """Seeded Poisson mix totalling ``target_rps``; default duration
+        yields ~``n_requests`` arrivals (scale-free in the rate)."""
+        if target_rps <= 0:
+            raise ValueError("target rate must be positive")
+        if duration_s is None:
+            duration_s = self.n_requests / target_rps
+        streams = [
+            poisson_requests(
+                model,
+                rate_rps=share * target_rps,
+                duration_s=duration_s,
+                seed=self.seed + i,
+                slo_s=slo_s,
+                start_id=i * 1_000_000,
+            )
+            for i, (model, share) in enumerate(sorted(self.mix.items()))
+        ]
+        return merge_streams(*streams)
+
+    def _cluster(self, n_nodes: int, policy: str) -> Cluster:
+        from repro.cluster.placement import ModelPlacement
+
+        rep = n_nodes if self.replication is None else min(self.replication, n_nodes)
+        placement = ModelPlacement.plan(
+            {m: self.engine.models[m] for m in self.mix},
+            n_nodes=n_nodes,
+            replication=rep,
+            capacity_bytes=self.capacity_bytes,
+        )
+        return Cluster(
+            n_nodes,
+            policy=policy,
+            router=self.router,
+            engine=self.engine,
+            placement=placement,
+        )
+
+    def evaluate(
+        self,
+        n_nodes: int,
+        policy: str,
+        target_rps: float,
+        duration_s: Optional[float] = None,
+    ) -> ClusterReport:
+        """Simulate the mix at ``target_rps`` on an ``n_nodes`` fleet."""
+        return self._cluster(n_nodes, policy).run(
+            self.stream(target_rps, duration_s=duration_s)
+        )
+
+    def sustains(
+        self, n_nodes: int, policy: str, target_rps: float, p99_slo_s: float
+    ) -> Tuple[bool, ClusterReport]:
+        """Does the fleet hold fleet-wide p99 under the SLO at this load?"""
+        duration = max(self.n_requests / target_rps, self.window_slos * p99_slo_s)
+        report = self.evaluate(n_nodes, policy, target_rps, duration_s=duration)
+        return report.p99_s <= p99_slo_s, report
+
+    def min_nodes(
+        self,
+        policy: str,
+        target_rps: float,
+        p99_slo_s: float,
+        max_nodes: int = 64,
+    ) -> CapacityPlan:
+        """Minimum node count meeting the SLO at ``target_rps``.
+
+        Doubles until feasible, then binary-searches the frontier; raises
+        if even ``max_nodes`` nodes cannot hold the SLO.
+        """
+        if p99_slo_s <= 0:
+            raise ValueError("p99 SLO must be positive")
+        probes: List[Tuple[int, bool, float]] = []
+        reports: Dict[int, ClusterReport] = {}
+
+        def feasible(n: int) -> bool:
+            ok, report = self.sustains(n, policy, target_rps, p99_slo_s)
+            probes.append((n, ok, report.p99_s))
+            reports[n] = report
+            return ok
+
+        lo, hi = 0, 1  # lo: largest known-infeasible count
+        while not feasible(hi):
+            if hi >= max_nodes:
+                raise ValueError(
+                    f"{policy}: even {max_nodes} nodes miss the "
+                    f"{p99_slo_s * 1e3:.1f} ms p99 SLO at {target_rps:.0f} req/s"
+                )
+            lo = hi
+            hi = min(2 * hi, max_nodes)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if feasible(mid):
+                hi = mid
+            else:
+                lo = mid
+        return CapacityPlan(
+            policy=policy,
+            router=self.router,
+            target_rps=target_rps,
+            p99_slo_s=p99_slo_s,
+            nodes=hi,
+            report=reports[hi],
+            probes=probes,
+        )
+
+    def throughput_curve(
+        self,
+        node_counts: List[int],
+        policy: str,
+        offered_rps: float,
+        slo_s: Optional[float] = None,
+    ) -> List[Tuple[int, ClusterReport]]:
+        """Fleet reports over ``node_counts`` at a fixed offered load — the
+        scaling curve behind the ``serve-cluster`` chart (plot each
+        report's ``goodput_rps``).  With ``slo_s`` set the stream carries
+        that SLO, so overloaded fleets shed the hopeless tail instead of
+        queueing it forever."""
+        stream = self.stream(offered_rps, slo_s=slo_s)
+        return [(n, self._cluster(n, policy).run(stream)) for n in node_counts]

@@ -81,15 +81,18 @@ class ExperimentResult:
         """Render this result's figure-shaped ASCII chart (if declared)."""
         if not self.chart:
             return "(no chart declared for this experiment)"
-        from repro.reporting import grouped_bars, line_plot, stacked_bars
+        from repro.reporting import grouped_bars, line_plot, scaling_plot, stacked_bars
 
         spec = dict(self.chart)
         kind = spec.pop("kind")
         spec.setdefault("title", f"{self.experiment_id}: {self.title}")
+        rows = spec.pop("rows", None) or self.rows
         if kind == "stacked":
-            return stacked_bars(self.rows, **spec)
+            return stacked_bars(rows, **spec)
         if kind == "grouped":
-            return grouped_bars(self.rows, **spec)
+            return grouped_bars(rows, **spec)
         if kind == "line":
-            return line_plot(self.rows, **spec)
+            return line_plot(rows, **spec)
+        if kind == "scaling":
+            return scaling_plot(rows, **spec)
         raise ValueError(f"unknown chart kind {kind!r}")

@@ -19,6 +19,7 @@ from repro.experiments import (
     fig12_scratchpad,
     fig13_colocation,
     fig14_energy,
+    serve_cluster,
     serve_online,
 )
 
@@ -39,6 +40,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "claims": claims.run,
     "ablations": ablations.run,
     "serve": serve_online.run,
+    "serve-cluster": serve_cluster.run,
 }
 
 

@@ -1,0 +1,228 @@
+"""Fleet serving: routing, node scaling, and capacity planning.
+
+The paper positions StepStone as a datacenter substrate — cheap bandwidth
+per node that a provider deploys as a fleet.  This experiment runs the
+:mod:`repro.cluster` simulator over three questions the single-node
+``serve`` experiment cannot ask:
+
+* **Routing** — on a 3-node fleet with overlapping replica placement and
+  skewed per-model traffic (BERT-heavy, with XLM and DLRM sharing nodes),
+  does load-aware routing beat oblivious round-robin?  Join-shortest-queue
+  shifts the hot model's requests away from the node that also serves XLM
+  batches; round-robin splits blindly and sheds more of its SLO budget.
+* **Node scaling** — sustained goodput vs node count at a fixed offered
+  overload, per dispatch policy (the chart): the hybrid fleet reaches the
+  offered rate with fewer nodes than cpu- or pim-only fleets.
+* **Capacity planning** — the planner's binary search for the minimum
+  node count holding a p99 SLO at a target rate, per policy.
+
+Everything is seeded and simulated, so the whole experiment is exactly
+reproducible: same seed, same report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cluster import CapacityPlanner, Cluster, ModelPlacement
+from repro.experiments.common import ExperimentResult
+from repro.serving.engine import (
+    OnlineServingEngine,
+    merge_streams,
+    poisson_requests,
+)
+
+__all__ = ["run", "skew_stream", "skew_placement"]
+
+SEED = 42
+#: Skewed-traffic scenario: offered req/s per model on the 3-node fleet.
+SKEW_RPS = {"BERT": 450.0, "XLM": 18.0, "DLRM": 100.0}
+#: Overlapping replica placement — node 1 hosts both heavy models, which
+#: is exactly where oblivious routing hurts.
+SKEW_REPLICAS = {"BERT": [0, 1], "XLM": [1, 2], "DLRM": [2, 0]}
+#: Per-model SLO as a multiple of batch-1 CPU latency (tight enough that
+#: an overloaded node must shed).
+SLO_X_CPU_BATCH1 = 4.0
+ROUTERS = ("round-robin", "least-loaded", "affinity")
+
+
+def skew_stream(engine: OnlineServingEngine, duration_s: float):
+    """The canonical skewed-traffic stream (shared with tests/benchmarks)."""
+    slos = {
+        "BERT": SLO_X_CPU_BATCH1 * engine.min_latency("BERT", "cpu"),
+        "XLM": SLO_X_CPU_BATCH1 * engine.min_latency("XLM", "cpu"),
+        "DLRM": 0.5,  # absolute: rides along behind the big models' batches
+    }
+    return merge_streams(
+        *(
+            poisson_requests(
+                model,
+                rate_rps=SKEW_RPS[model],
+                duration_s=duration_s,
+                seed=SEED + i,
+                slo_s=slos[model],
+                start_id=i * 1_000_000,
+            )
+            for i, model in enumerate(sorted(SKEW_RPS))
+        )
+    )
+
+
+def skew_placement() -> ModelPlacement:
+    """The overlapping 3-node replica placement the skew scenario runs on."""
+    return ModelPlacement(
+        replicas={m: list(nids) for m, nids in SKEW_REPLICAS.items()},
+        used_bytes={},
+    )
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    res = ExperimentResult(
+        experiment_id="serve-cluster",
+        title="Fleet serving: placement, routing, and capacity planning",
+        paper_reference="§I/§VII StepStone as a datacenter substrate (fleet view)",
+    )
+    engine = OnlineServingEngine()
+    skew_duration = 1.2 if fast else 2.0
+    placement = skew_placement()
+    stream = skew_stream(engine, skew_duration)
+
+    # ---- Routing policies on a hybrid fleet under skewed traffic ------ #
+    by_router: Dict[str, object] = {}
+    for router in ROUTERS:
+        cluster = Cluster(
+            3, policy="hybrid", router=router, engine=engine, placement=placement
+        )
+        rep = cluster.run(stream)
+        by_router[router] = rep
+        res.add(
+            section="router",
+            case=f"3xhybrid/{router}",
+            served=rep.served,
+            rejected=len(rep.rejected),
+            p50_ms=rep.p50_s * 1e3,
+            p99_ms=rep.p99_s * 1e3,
+            goodput_rps=rep.goodput_rps,
+            util=rep.mean_utilization,
+        )
+    res.check(
+        "join-shortest-queue sustains >= round-robin under skewed traffic",
+        by_router["least-loaded"].goodput_rps
+        >= by_router["round-robin"].goodput_rps - 1e-9,
+    )
+    res.note(
+        "skew: node 1 hosts both heavy models (BERT + XLM); round-robin "
+        "keeps sending it half the BERT stream while node 2 idles, "
+        "join-shortest-queue routes around the contention "
+        f"(per-node served, RR: {by_router['round-robin'].served_per_node()}, "
+        f"JSQ: {by_router['least-loaded'].served_per_node()})"
+    )
+
+    # ---- Dispatch policies at equal node count ------------------------ #
+    by_policy: Dict[str, object] = {}
+    for policy in ("cpu", "pim", "hybrid"):
+        cluster = Cluster(
+            3, policy=policy, router="least-loaded", engine=engine, placement=placement
+        )
+        rep = cluster.run(stream)
+        by_policy[policy] = rep
+        res.add(
+            section="policy",
+            case=f"3x{policy}/least-loaded",
+            served=rep.served,
+            rejected=len(rep.rejected),
+            p50_ms=rep.p50_s * 1e3,
+            p99_ms=rep.p99_s * 1e3,
+            goodput_rps=rep.goodput_rps,
+            util=rep.mean_utilization,
+        )
+    res.check(
+        "hybrid fleet sustains >= cpu-only fleet at equal node count",
+        by_policy["hybrid"].goodput_rps >= by_policy["cpu"].goodput_rps - 1e-9,
+    )
+    res.check(
+        "hybrid fleet sustains >= pim-only fleet at equal node count",
+        by_policy["hybrid"].goodput_rps >= by_policy["pim"].goodput_rps - 1e-9,
+    )
+
+    # ---- Determinism: the simulator is seeded end to end -------------- #
+    again = Cluster(
+        3, policy="hybrid", router="least-loaded", engine=engine, placement=placement
+    ).run(skew_stream(engine, skew_duration))
+    ref = by_router["least-loaded"]
+    res.check(
+        "deterministic: same seed reproduces the same report",
+        (again.served, len(again.rejected), again.p99_s, again.goodput_rps)
+        == (ref.served, len(ref.rejected), ref.p99_s, ref.goodput_rps),
+    )
+
+    # ---- Node scaling at fixed offered overload (the chart) ----------- #
+    planner = CapacityPlanner(
+        {"BERT": 0.9, "DLRM": 0.1},
+        engine=engine,
+        n_requests=240 if fast else 480,
+        seed=SEED,
+    )
+    node_counts = [1, 2, 4] if fast else [1, 2, 4, 8]
+    offered = 600.0
+    scale_slo_s = 1.0
+    curves = {
+        policy: planner.throughput_curve(
+            node_counts, policy, offered, slo_s=scale_slo_s
+        )
+        for policy in ("cpu", "pim", "hybrid")
+    }
+    scaling_rows: List[Dict[str, float]] = []
+    for i, n in enumerate(node_counts):
+        row = {"section": "scaling", "nodes": n}
+        for policy, curve in curves.items():
+            row[policy] = curve[i][1].goodput_rps
+        scaling_rows.append(row)
+        res.add(**row)
+    res.check(
+        "hybrid goodput >= cpu goodput at every node count",
+        all(r["hybrid"] >= r["cpu"] - 1e-9 for r in scaling_rows),
+    )
+    res.check(
+        "goodput scales: more hybrid nodes never serve less",
+        all(
+            a["hybrid"] <= b["hybrid"] + 1e-9
+            for a, b in zip(scaling_rows, scaling_rows[1:])
+        ),
+    )
+
+    # ---- Capacity planning: minimum nodes for a target + SLO ---------- #
+    plan_policies = ("cpu", "hybrid") if fast else ("cpu", "pim", "hybrid")
+    planner.n_requests = 150 if fast else 300
+    planner.window_slos = 2.0 if fast else 5.0
+    plans = {}
+    for policy in plan_policies:
+        plan = planner.min_nodes(
+            policy, target_rps=offered, p99_slo_s=scale_slo_s, max_nodes=32
+        )
+        plans[policy] = plan
+        res.add(
+            section="planner",
+            case=f"{policy}@{offered:.0f}rps",
+            nodes=plan.nodes,
+            p99_ms=plan.report.p99_s * 1e3,
+            goodput_rps=plan.report.goodput_rps,
+            probes=len(plan.probes),
+        )
+    res.check(
+        "planner: hybrid needs no more nodes than cpu for the same SLO",
+        plans["hybrid"].nodes <= plans["cpu"].nodes,
+    )
+    res.note(
+        "planner mix 90% BERT / 10% DLRM at "
+        f"{offered:.0f} req/s, p99 SLO {scale_slo_s * 1e3:.0f} ms: "
+        + ", ".join(f"{p} -> {plans[p].nodes} nodes" for p in plan_policies)
+    )
+
+    res.chart = {
+        "kind": "scaling",
+        "rows": scaling_rows,
+        "x_key": "nodes",
+        "y_keys": ["cpu", "pim", "hybrid"],
+    }
+    return res

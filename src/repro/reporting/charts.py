@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["stacked_bars", "grouped_bars", "line_plot"]
+__all__ = ["stacked_bars", "grouped_bars", "line_plot", "scaling_plot"]
 
 _GLYPHS = "#=+*o%@&"
 
@@ -138,3 +138,41 @@ def line_plot(
         lines.append("|" + "".join(row) + "|")
     lines.append("+" + "-" * width + "+")
     return "\n".join(lines)
+
+
+def scaling_plot(
+    rows: Sequence[Dict[str, Any]],
+    x_key: str,
+    y_keys: Sequence[str],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Linear-axes scaling curve (nodes vs sustained throughput).
+
+    The fleet-sizing shape of the ``serve-cluster`` experiment: a
+    linear-linear :func:`line_plot` grid plus a per-x value table, so both
+    the curve's knee and the exact series values are readable in a
+    terminal.
+    """
+    if not rows:
+        return "(no data)"
+    grid = line_plot(
+        rows,
+        x_key=x_key,
+        y_keys=y_keys,
+        width=width,
+        height=height,
+        log_x=False,
+        log_y=False,
+        title=title,
+    )
+    header = f"{x_key:>8} " + " ".join(f"{k:>12}" for k in y_keys)
+    table = [header]
+    for r in rows:
+        cells = " ".join(
+            f"{_fmt(float(r[k])):>12}" if r.get(k) is not None else f"{'-':>12}"
+            for k in y_keys
+        )
+        table.append(f"{str(r.get(x_key, '')):>8} {cells}")
+    return grid + "\n" + "\n".join(table)

@@ -10,6 +10,7 @@ from repro.serving.engine import (
     ServingReport,
     merge_streams,
     poisson_requests,
+    slo_admit,
     uniform_requests,
 )
 from repro.serving.scheduler import (
@@ -28,6 +29,7 @@ __all__ = [
     "RejectedRequest",
     "ServingReport",
     "OnlineServingEngine",
+    "slo_admit",
     "poisson_requests",
     "uniform_requests",
     "merge_streams",

@@ -33,7 +33,7 @@ import math
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.models.inference import all_models
 from repro.models.layers import ModelSpec, pow2_partition
@@ -46,6 +46,7 @@ __all__ = [
     "RejectedRequest",
     "ServingReport",
     "OnlineServingEngine",
+    "slo_admit",
     "poisson_requests",
     "uniform_requests",
     "merge_streams",
@@ -244,6 +245,54 @@ def merge_streams(*streams: Sequence[Request]) -> List[Request]:
 
 
 # ---------------------------------------------------------------------- #
+# SLO admission
+# ---------------------------------------------------------------------- #
+
+
+def slo_admit(
+    batch: Sequence[Request],
+    clock: float,
+    service_for_size: Callable[[int], float],
+) -> Tuple[List[Request], List[Request], float]:
+    """Shrink ``batch`` until every admitted request meets its SLO.
+
+    A smaller batch serves faster (``service_for_size`` is non-decreasing in
+    size), so requests are dropped one at a time, least SLO headroom first
+    (``slo - wait``) — and whenever any request violates, the one with the
+    least headroom violates too.  That makes a single pass over the batch
+    sorted by headroom equivalent to re-scanning for violators after every
+    drop, turning the O(b^2) shrink into O(b log b).
+
+    Returns ``(admitted, rejected, service_s)``; ``admitted`` preserves the
+    input order, ``rejected`` is in drop order (ascending headroom), and
+    ``service_s`` is the service time of the admitted batch (0.0 when every
+    request was rejected).  Requests without an SLO are never rejected.
+    """
+
+    def headroom(r: Request) -> float:
+        if r.slo_s is None:
+            return math.inf
+        return r.slo_s - (clock - r.arrival_s)
+
+    order = sorted(batch, key=headroom)  # stable: ties keep batch order
+    drop = 0
+    service = 0.0
+    while drop < len(order):
+        service = service_for_size(len(order) - drop)
+        if headroom(order[drop]) >= service:
+            break
+        drop += 1
+    rejected = order[:drop]
+    if drop == len(order):
+        return [], rejected, 0.0
+    if drop == 0:
+        return list(batch), [], service
+    dropped = {id(r) for r in rejected}
+    admitted = [r for r in batch if id(r) not in dropped]
+    return admitted, rejected, service
+
+
+# ---------------------------------------------------------------------- #
 # The engine
 # ---------------------------------------------------------------------- #
 
@@ -332,26 +381,16 @@ class OnlineServingEngine:
                 queue.append(pending.popleft())
             # FIFO batch from the oldest request's model only.
             head_model = queue[0].model
-            batch = [r for r in queue if r.model == head_model][: self.max_batch]
+            candidates = [r for r in queue if r.model == head_model][: self.max_batch]
             # SLO admission: drop requests whose wait + predicted service
-            # exceeds their bound, one at a time (least SLO headroom first) —
-            # a smaller batch serves faster, so a violator at this size may
-            # fit at the next, and mass rejection would overshoot.
-            rejected_now: List[Request] = []
-            service = 0.0
-            while batch:
-                service = self.batch_latency(head_model, policy, len(batch))
-                violators = [
-                    r
-                    for r in batch
-                    if r.slo_s is not None
-                    and (clock - r.arrival_s) + service > r.slo_s
-                ]
-                if not violators:
-                    break
-                worst = min(violators, key=lambda r: r.slo_s - (clock - r.arrival_s))
-                rejected_now.append(worst)
-                batch = [r for r in batch if r is not worst]
+            # exceeds their bound, least headroom first, in a single sorted
+            # pass — a smaller batch serves faster, so a violator at this
+            # size may fit at the next, and mass rejection would overshoot.
+            batch, rejected_now, service = slo_admit(
+                candidates,
+                clock,
+                lambda size: self.batch_latency(head_model, policy, size),
+            )
             for r in rejected_now:
                 report.rejected.append(RejectedRequest(request=r, rejected_at_s=clock))
             if batch:

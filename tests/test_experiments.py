@@ -26,6 +26,7 @@ class TestRegistry:
             "claims",
             "ablations",
             "serve",
+            "serve-cluster",
         }
 
     def test_unknown_id_raises(self):

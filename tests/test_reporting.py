@@ -99,3 +99,44 @@ class TestExperimentIntegration:
             res = run_experiment(eid, fast=True)
             assert res.chart is not None
             assert len(res.render_chart()) > 50
+
+
+class TestScalingPlot:
+    ROWS = [
+        {"nodes": 1, "cpu": 100.0, "hybrid": 200.0},
+        {"nodes": 2, "cpu": 200.0, "hybrid": 400.0},
+        {"nodes": 4, "cpu": 400.0, "hybrid": 400.0},
+    ]
+
+    def test_grid_and_value_table(self):
+        from repro.reporting import scaling_plot
+
+        out = scaling_plot(self.ROWS, "nodes", ["cpu", "hybrid"])
+        assert "legend" in out
+        assert "nodes" in out and "cpu" in out and "hybrid" in out
+        # the value table carries the exact series values
+        assert "400.00" in out and "100.00" in out
+
+    def test_missing_series_value_dashed(self):
+        from repro.reporting import scaling_plot
+
+        rows = [{"nodes": 1, "cpu": 1.0}, {"nodes": 2, "cpu": 2.0, "hybrid": 4.0}]
+        out = scaling_plot(rows, "nodes", ["cpu", "hybrid"])
+        assert "-" in out.splitlines()[-2] + out.splitlines()[-1]
+
+    def test_empty(self):
+        from repro.reporting import scaling_plot
+
+        assert scaling_plot([], "x", ["y"]) == "(no data)"
+
+    def test_render_chart_scaling_with_row_override(self):
+        r = ExperimentResult("x", "t")
+        r.add(section="other", foo=1)
+        r.chart = {
+            "kind": "scaling",
+            "rows": TestScalingPlot.ROWS,
+            "x_key": "nodes",
+            "y_keys": ["cpu", "hybrid"],
+        }
+        out = r.render_chart()
+        assert "legend" in out and "400.00" in out

