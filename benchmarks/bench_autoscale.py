@@ -1,0 +1,55 @@
+"""Elastic-fleet harness: trace generation and the autoscale control loop.
+
+Regenerates the ``serve-autoscale`` experiment (diurnal elasticity, the
+planner convergence anchor, and the flash crowd) and benchmarks the two
+hot paths directly: non-homogeneous Poisson stream generation by thinning,
+and one diurnal elastic run under the reactive policy.
+"""
+
+from repro.autoscale import (
+    DiurnalTrace,
+    TargetUtilizationPolicy,
+    mix_requests,
+    node_capacity_rps,
+)
+from repro.experiments.serve_autoscale import MIX, SLO_S, diurnal_trace, make_cluster
+from repro.serving import OnlineServingEngine
+
+
+def test_serve_autoscale_experiment(run_bench):
+    run_bench("serve-autoscale")
+
+
+def test_nhpp_stream_generation(benchmark, perf_record):
+    """Thinned diurnal mix stream: the per-run stream-generation cost."""
+    trace = DiurnalTrace(trough_rps=60.0, peak_rps=700.0, period_s=12.0)
+
+    def run():
+        return mix_requests(trace, MIX, 24.0, seed=3, slos={m: SLO_S for m in MIX})
+
+    stream = benchmark.pedantic(run, rounds=3, iterations=1)
+    perf_record("nhpp_stream_generation", benchmark, requests=len(stream))
+    assert stream == sorted(stream, key=lambda r: (r.arrival_s, r.req_id))
+
+
+def test_elastic_diurnal_reactive(benchmark, perf_record):
+    """One diurnal elastic run: control loop + node lifecycle + serving."""
+    engine = OnlineServingEngine()
+    trace = diurnal_trace(fast=True)
+    stream = mix_requests(trace, MIX, 8.0, seed=3, slos={m: SLO_S for m in MIX})
+    capacity = node_capacity_rps(engine, MIX, "hybrid")
+
+    def run():
+        cluster = make_cluster(engine, initial_nodes=1)
+        return cluster.run(stream, TargetUtilizationPolicy(capacity, target=0.7))
+
+    rep = benchmark.pedantic(run, rounds=2, iterations=1)
+    perf_record(
+        "elastic_diurnal_reactive",
+        benchmark,
+        requests=len(stream),
+        node_seconds=round(rep.node_seconds, 2),
+        peak_nodes=rep.peak_fleet_size,
+        shed=round(rep.shed_fraction, 4),
+    )
+    assert rep.served + len(rep.rejected) == len(stream)

@@ -9,8 +9,7 @@ normalized stack for each and the per-layer dispatch decisions of STP.
 Run:  python examples/bert_inference.py
 """
 
-from repro import PimLevel, StepStoneSystem
-from repro.core.gemm import GemmShape
+from repro import StepStoneSystem
 from repro.models.bert import make_bert
 from repro.models.inference import BACKENDS, InferenceEngine
 from repro.models.layers import pow2_partition

@@ -1,0 +1,73 @@
+"""Trace-driven time-varying traffic and elastic fleet scaling.
+
+The layer above :mod:`repro.cluster` for the load real services see (§I:
+inference behind "diverse internet services" is diurnal and bursty, not a
+stationary Poisson stream):
+
+* :mod:`~repro.autoscale.traces` — deterministic request-rate traces
+  (diurnal, MMPP on-off bursts, flash-crowd spikes, ramps, file replay)
+  and seeded non-homogeneous Poisson stream generation via thinning;
+* :mod:`~repro.autoscale.elastic` — the elastic fleet simulator: nodes
+  provision (weight-copy delay), drain, and retire mid-run under a
+  control loop;
+* :mod:`~repro.autoscale.policies` — autoscaler policies behind one
+  protocol: reactive target-utilization, windowed p99-SLO feedback with
+  floor memory, predictive trace lookahead, and the static baseline;
+* :mod:`~repro.autoscale.report` — cost/SLO accounting: node-seconds,
+  Table II-grounded fleet energy, windowed goodput/violation timelines.
+"""
+
+from repro.autoscale.elastic import ElasticCluster, NodeState
+from repro.autoscale.policies import (
+    AutoscalePolicy,
+    ControlObservation,
+    PredictiveTracePolicy,
+    SLOFeedbackPolicy,
+    StaticPolicy,
+    TargetUtilizationPolicy,
+    node_capacity_rps,
+)
+from repro.autoscale.report import (
+    AutoscaleReport,
+    ControlSample,
+    FleetPowerModel,
+    NodeLifetime,
+)
+from repro.autoscale.traces import (
+    ConstantTrace,
+    DiurnalTrace,
+    OnOffTrace,
+    RampTrace,
+    RateTrace,
+    ReplayTrace,
+    ScaledTrace,
+    SpikeTrace,
+    mix_requests,
+    nhpp_requests,
+)
+
+__all__ = [
+    "ElasticCluster",
+    "NodeState",
+    "AutoscalePolicy",
+    "ControlObservation",
+    "StaticPolicy",
+    "TargetUtilizationPolicy",
+    "SLOFeedbackPolicy",
+    "PredictiveTracePolicy",
+    "node_capacity_rps",
+    "AutoscaleReport",
+    "ControlSample",
+    "FleetPowerModel",
+    "NodeLifetime",
+    "RateTrace",
+    "ConstantTrace",
+    "DiurnalTrace",
+    "OnOffTrace",
+    "SpikeTrace",
+    "RampTrace",
+    "ReplayTrace",
+    "ScaledTrace",
+    "nhpp_requests",
+    "mix_requests",
+]

@@ -1,0 +1,422 @@
+"""The elastic fleet simulator: nodes join and drain mid-run.
+
+Extends the :mod:`repro.cluster` discrete-event fleet with a node
+lifecycle and a control loop:
+
+* **provisioning** — a newly ordered node becomes routable only after a
+  provisioning delay modeling weight-copy time: a base spin-up plus the
+  hosted models' total weight bytes over a copy bandwidth (the placement's
+  per-model bytes are exactly what must stream into the node's PIM-enabled
+  DRAM before it can serve);
+* **draining** — a node picked for scale-down leaves the routing set
+  immediately, finishes its queued work, then retires; it can be
+  *reactivated* for free if the autoscaler changes its mind before the
+  drain completes (and nodes still provisioning are cancelled first, since
+  they never held traffic);
+* **control ticks** — every ``control_interval_s`` the
+  :class:`~repro.autoscale.policies.AutoscalePolicy` sees a windowed
+  observation (arrivals, completions, rejections, exact busy-time
+  utilization, windowed p99 via the shared nearest-rank helpers) and
+  answers with a desired fleet size, clamped to ``[min_nodes,
+  max_nodes]``.
+
+Every node replicates the full served-model set — the same convention the
+static :class:`~repro.cluster.planner.CapacityPlanner` uses, since a model
+pinned to fewer replicas than nodes would cap elasticity regardless of
+fleet size.  Event ordering matches the static fleet exactly (arrivals
+before finishes at equal timestamps, finishes tie-broken by node id), so
+an :class:`ElasticCluster` run under a static policy with the same node
+count reproduces a :class:`~repro.cluster.fleet.Cluster` run request for
+request.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.autoscale.policies import AutoscalePolicy, ControlObservation
+from repro.autoscale.report import AutoscaleReport, ControlSample, NodeLifetime
+from repro.cluster.node import ClusterNode
+from repro.cluster.router import Router, make_router
+from repro.serving.engine import (
+    POLICIES,
+    OnlineServingEngine,
+    Request,
+    nearest_rank,
+)
+
+__all__ = ["ElasticCluster", "NodeState"]
+
+# Node lifecycle states.
+PROVISIONING = "provisioning"
+ACTIVE = "active"
+DRAINING = "draining"
+RETIRED = "retired"
+
+#: Exposed for introspection/tests.
+NodeState = (PROVISIONING, ACTIVE, DRAINING, RETIRED)
+
+# Event kinds in the simulation heap; the numeric order is the tie-break
+# at equal timestamps: batch finishes first (completions recorded), then
+# provisioned nodes join, then the controller observes the settled state.
+_EV_FINISH = 0
+_EV_READY = 1
+_EV_CONTROL = 2
+
+
+@dataclass
+class _NodeSlot:
+    """One node plus its lifecycle bookkeeping."""
+
+    node: ClusterNode
+    state: str
+    life: NodeLifetime
+    # Window accounting (exact busy-time integration per control tick).
+    busy_total_prev: float = 0.0
+    overhang_prev: float = 0.0
+    completed_seen: int = 0
+    rejected_seen: int = 0
+
+
+class ElasticCluster:
+    """A routed fleet whose size an autoscaler adjusts while it serves."""
+
+    def __init__(
+        self,
+        engine: Optional[OnlineServingEngine] = None,
+        policy: str = "hybrid",
+        router: "Router | str" = "least-loaded",
+        models: Optional[Iterable[str]] = None,
+        initial_nodes: int = 1,
+        min_nodes: int = 1,
+        max_nodes: int = 64,
+        control_interval_s: float = 1.0,
+        provision_base_s: float = 0.15,
+        copy_gbps: float = 10.0,
+        max_batch: Optional[int] = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        if initial_nodes <= 0:
+            raise ValueError("need at least one initial node")
+        if not 1 <= min_nodes <= max_nodes:
+            raise ValueError("need 1 <= min_nodes <= max_nodes")
+        if not min_nodes <= initial_nodes <= max_nodes:
+            raise ValueError("initial_nodes must lie in [min_nodes, max_nodes]")
+        if control_interval_s <= 0:
+            raise ValueError("control interval must be positive")
+        if provision_base_s < 0 or copy_gbps <= 0:
+            raise ValueError("provision_base_s >= 0 and copy_gbps > 0 required")
+        self.engine = engine or OnlineServingEngine()
+        self.policy = policy
+        self.router = make_router(router) if isinstance(router, str) else router
+        names = sorted(models) if models is not None else sorted(self.engine.models)
+        unknown = [m for m in names if m not in self.engine.models]
+        if unknown:
+            raise KeyError(f"models unknown to the engine: {unknown}")
+        if not names:
+            raise ValueError("need at least one served model")
+        self.models = names
+        self.initial_nodes = initial_nodes
+        self.min_nodes = min_nodes
+        self.max_nodes = max_nodes
+        self.control_interval_s = control_interval_s
+        self.provision_base_s = provision_base_s
+        self.copy_gbps = copy_gbps
+        self.max_batch = max_batch
+        # Run-local state, rebuilt by _fresh().
+        self._slots: Dict[int, _NodeSlot] = {}
+        self._next_id = 0
+        self._arrived_window = 0
+
+    # ------------------------------------------------------------------ #
+    # Provisioning model
+    # ------------------------------------------------------------------ #
+
+    @property
+    def weight_bytes(self) -> float:
+        """Bytes a new node must copy before serving (all hosted models)."""
+        return float(
+            sum(self.engine.models[m].total_weight_bytes for m in self.models)
+        )
+
+    @property
+    def provision_delay_s(self) -> float:
+        """Spin-up plus weight-copy time for one new node."""
+        return self.provision_base_s + self.weight_bytes / (self.copy_gbps * 1e9)
+
+    # ------------------------------------------------------------------ #
+    # Fleet membership
+    # ------------------------------------------------------------------ #
+
+    def _fresh(self) -> None:
+        self._slots = {}
+        self._next_id = 0
+        self._arrived_window = 0
+        self.router.reset()
+        for _ in range(self.initial_nodes):
+            self._spawn(0.0, ready_now=True)
+
+    def _spawn(self, clock: float, ready_now: bool) -> _NodeSlot:
+        nid = self._next_id
+        self._next_id += 1
+        node = ClusterNode(
+            node_id=nid,
+            engine=self.engine,
+            policy=self.policy,
+            models=set(self.models),
+            max_batch=self.max_batch,
+        )
+        life = NodeLifetime(node_id=nid, ordered_s=clock)
+        slot = _NodeSlot(
+            node=node,
+            state=ACTIVE if ready_now else PROVISIONING,
+            life=life,
+        )
+        if ready_now:
+            life.ready_s = clock
+        self._slots[nid] = slot
+        return slot
+
+    def _by_state(self, state: str) -> List[_NodeSlot]:
+        return [s for s in self._slots.values() if s.state == state]
+
+    def _active_nodes(self) -> List[ClusterNode]:
+        return [
+            s.node for nid, s in sorted(self._slots.items()) if s.state == ACTIVE
+        ]
+
+    def replicas_for(self, model: str) -> List[ClusterNode]:
+        """Routable (active) nodes, id order — full replication, so every
+        active node hosts every served model."""
+        return self._active_nodes()
+
+    def _retire(self, slot: _NodeSlot, clock: float) -> None:
+        slot.state = RETIRED
+        if slot.life.retired_s is None:
+            slot.life.retired_s = clock
+
+    def _apply_target(
+        self, target: int, clock: float, events: List, seq: List[int]
+    ) -> None:
+        """Order, cancel, reactivate, or drain nodes toward ``target``."""
+        owned = self._by_state(ACTIVE) + self._by_state(PROVISIONING)
+        delta = target - len(owned)
+        if delta > 0:
+            # Cheapest capacity first: un-drain nodes still finishing their
+            # backlog (they re-enter routing instantly, no weight copy).
+            draining = sorted(
+                self._by_state(DRAINING), key=lambda s: -s.node.node_id
+            )
+            for slot in draining[:delta]:
+                slot.state = ACTIVE
+                slot.life.drain_s = None
+                delta -= 1
+            for _ in range(delta):
+                self._spawn(clock, ready_now=False)
+                ready_at = clock + self.provision_delay_s
+                seq[0] += 1
+                heapq.heappush(events, (ready_at, _EV_READY, seq[0], self._next_id - 1))
+        elif delta < 0:
+            shed = -delta
+            # Cancel provisioning nodes first (never held traffic), newest
+            # first so the earliest-ordered capacity still arrives.
+            provisioning = sorted(
+                self._by_state(PROVISIONING), key=lambda s: -s.node.node_id
+            )
+            for slot in provisioning[:shed]:
+                self._retire(slot, clock)
+                shed -= 1
+            if shed > 0:
+                # Drain the emptiest active nodes (newest on ties); keep at
+                # least one active node routable at all times.
+                active = sorted(
+                    self._by_state(ACTIVE),
+                    key=lambda s: (s.node.backlog(), -s.node.node_id),
+                )
+                can_drain = max(0, len(active) - 1)
+                for slot in active[: min(shed, can_drain)]:
+                    slot.state = DRAINING
+                    slot.life.drain_s = clock
+                    if slot.node.idle and not slot.node.queue:
+                        self._retire(slot, clock)
+
+    # ------------------------------------------------------------------ #
+    # The simulation
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self, requests: Iterable[Request], autoscaler: AutoscalePolicy
+    ) -> AutoscaleReport:
+        """Serve an arrival-ordered stream while ``autoscaler`` resizes the
+        fleet every control interval."""
+        self._fresh()
+        autoscaler.reset()
+        arrivals = deque(sorted(requests, key=lambda r: (r.arrival_s, r.req_id)))
+        last_arrival = arrivals[-1].arrival_s if arrivals else 0.0
+        report = AutoscaleReport(
+            policy=self.policy,
+            autoscaler=autoscaler.name,
+            control_interval_s=self.control_interval_s,
+            last_arrival_s=last_arrival,
+        )
+        events: List = []  # (t, kind, seq/node_id, payload)
+        seq = [0]
+        # Control ticks cover the offered window plus one trailing interval
+        # (so the controller can react to the last window of load); an
+        # empty stream needs no controller at all.
+        if arrivals:
+            t_tick = self.control_interval_s
+            while t_tick <= last_arrival + self.control_interval_s:
+                seq[0] += 1
+                heapq.heappush(events, (t_tick, _EV_CONTROL, seq[0], None))
+                t_tick += self.control_interval_s
+        clock = 0.0
+        last_service_end = 0.0
+        prev_tick_t = 0.0
+
+        def dispatch(nid: int, now: float) -> None:
+            slot = self._slots[nid]
+            finish = slot.node.try_dispatch(now)
+            if finish is not None:
+                heapq.heappush(events, (finish, _EV_FINISH, nid, None))
+
+        while arrivals or events:
+            t_arr = arrivals[0].arrival_s if arrivals else math.inf
+            t_ev = events[0][0] if events else math.inf
+            if t_arr <= t_ev:
+                # Drain every arrival at this instant before any other
+                # event, matching the static fleet simulator.
+                clock = t_arr
+                touched: Dict[int, ClusterNode] = {}
+                while arrivals and arrivals[0].arrival_s == clock:
+                    r = arrivals.popleft()
+                    replicas = self.replicas_for(r.model)
+                    node = self.router.route(r, replicas, clock)
+                    node.enqueue(r)
+                    self._arrived_window += 1
+                    touched[node.node_id] = node
+                for nid in sorted(touched):
+                    if touched[nid].idle:
+                        dispatch(nid, clock)
+                continue
+            t, kind, key, payload = heapq.heappop(events)
+            clock = t
+            if kind == _EV_FINISH:
+                nid = key
+                slot = self._slots[nid]
+                slot.node.finish_batch(clock)
+                last_service_end = clock
+                dispatch(nid, clock)
+                if (
+                    slot.state == DRAINING
+                    and slot.node.idle
+                    and not slot.node.queue
+                ):
+                    self._retire(slot, clock)
+            elif kind == _EV_READY:
+                slot = self._slots[payload]
+                # A node cancelled while provisioning stays retired; its
+                # ready event is stale.
+                if slot.state == PROVISIONING:
+                    slot.state = ACTIVE
+                    slot.life.ready_s = clock
+            elif kind == _EV_CONTROL:
+                obs = self._observe(prev_tick_t, clock)
+                prev_tick_t = clock
+                desired = autoscaler.desired_nodes(obs)
+                target = max(self.min_nodes, min(self.max_nodes, desired))
+                self._apply_target(target, clock, events, seq)
+                report.samples.append(
+                    ControlSample(
+                        t=clock,
+                        active=obs.active,
+                        provisioning=obs.provisioning,
+                        draining=obs.draining,
+                        desired=target,
+                        arrivals=obs.arrivals,
+                        completions=obs.completions,
+                        rejections=obs.rejections,
+                        window_p99_s=obs.window_p99_s,
+                        utilization=obs.utilization,
+                        backlog=obs.backlog,
+                    )
+                )
+        # The serving horizon excludes trailing control ticks (controller
+        # bookkeeping, not service) — a static-policy run matches the
+        # static fleet's sim_end exactly.  Anything still draining or
+        # provisioning retires here.
+        sim_end = max(last_service_end, last_arrival)
+        for slot in self._slots.values():
+            if slot.state != RETIRED:
+                self._retire(slot, sim_end)
+        report.sim_end_s = sim_end
+        for nid, slot in sorted(self._slots.items()):
+            slot.node.report.sim_end_s = sim_end
+            report.node_reports[nid] = slot.node.report
+            report.lifetimes[nid] = slot.life
+            report.node_busy_s[nid] = slot.node.busy_s
+        return report
+
+    def _observe(self, t0: float, t1: float) -> ControlObservation:
+        """Windowed fleet observation over ``(t0, t1]`` (exact busy time)."""
+        interval = t1 - t0
+        active = self._by_state(ACTIVE)
+        provisioning = self._by_state(PROVISIONING)
+        draining = self._by_state(DRAINING)
+        window_lats: List[float] = []
+        completions = 0
+        rejections = 0
+        busy_window = 0.0
+        backlog = 0
+        for slot in self._slots.values():
+            rep = slot.node.report
+            new_completed = rep.completed[slot.completed_seen :]
+            slot.completed_seen = len(rep.completed)
+            completions += len(new_completed)
+            window_lats.extend(c.latency_s for c in new_completed)
+            rejections += len(rep.rejected) - slot.rejected_seen
+            slot.rejected_seen = len(rep.rejected)
+            # Exact busy seconds inside (t0, t1]: total credited since the
+            # last tick, minus the part of the running batch past t1, plus
+            # the previously-subtracted part that fell into this window.
+            overhang = max(0.0, slot.node.busy_until - t1) if slot.node.in_flight else 0.0
+            busy_window += (
+                slot.node.busy_s - slot.busy_total_prev
+                - overhang
+                + slot.overhang_prev
+            )
+            slot.busy_total_prev = slot.node.busy_s
+            slot.overhang_prev = overhang
+            if slot.state != RETIRED:
+                backlog += slot.node.backlog()
+        n_active = len(active)
+        # The numerator sums busy time across every slot (draining nodes
+        # keep serving their backlog), so the denominator must count the
+        # serving set — active plus draining — or every scale-down tick
+        # would read as a saturated fleet.  Approximate across mid-window
+        # membership changes; the clamp keeps it a fraction.
+        n_serving = n_active + len(draining)
+        util = 0.0
+        if interval > 0 and n_serving:
+            util = max(0.0, min(1.0, busy_window / (interval * n_serving)))
+        window_lats.sort()
+        obs = ControlObservation(
+            t=t1,
+            interval_s=interval,
+            active=n_active,
+            provisioning=len(provisioning),
+            draining=len(draining),
+            arrivals=self._arrived_window,
+            completions=completions,
+            rejections=rejections,
+            window_p99_s=nearest_rank(window_lats, 99),
+            utilization=util,
+            backlog=backlog,
+        )
+        self._arrived_window = 0
+        return obs

@@ -16,7 +16,6 @@ exploit GEMM block locality:
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from repro.core.config import StepStoneConfig
 from repro.core.executor import GemmResult, execute_gemm

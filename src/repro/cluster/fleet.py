@@ -34,6 +34,8 @@ from repro.serving.engine import (
     RejectedRequest,
     Request,
     ServingReport,
+    nearest_rank,
+    window_latencies,
 )
 
 __all__ = ["Cluster", "ClusterReport"]
@@ -78,13 +80,12 @@ class ClusterReport:
 
     def latency_percentile(self, q: float) -> float:
         """Nearest-rank percentile of fleet-wide completed latency."""
-        if not 0 < q <= 100:
-            raise ValueError("percentile must be in (0, 100]")
-        lats = self.latencies_s
-        if not lats:
-            return math.nan
-        rank = max(1, math.ceil(q / 100.0 * len(lats)))
-        return lats[rank - 1]
+        return nearest_rank(self.latencies_s, q)
+
+    def window_percentile(self, q: float, start_s: float, end_s: float) -> float:
+        """Fleet-wide latency percentile over completions finishing in
+        ``[start_s, end_s)``; NaN when the window saw none."""
+        return nearest_rank(window_latencies(self.completed, start_s, end_s), q)
 
     @property
     def p50_s(self) -> float:

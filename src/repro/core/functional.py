@@ -11,7 +11,7 @@ and returns the reduced C for comparison with ``A @ B``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

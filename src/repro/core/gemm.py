@@ -18,10 +18,9 @@ executor needs:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.core.config import PimUnitConfig, StepStoneConfig
 from repro.mapping.analysis import FootprintAnalysis

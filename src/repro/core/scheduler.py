@@ -17,7 +17,7 @@ configurations — bank-group vs. device level, full vs. subset PIM activation
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.core.config import StepStoneConfig
 from repro.core.executor import GemmResult, execute_gemm

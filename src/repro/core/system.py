@@ -15,7 +15,6 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -23,7 +22,7 @@ import numpy as np
 from repro.core.config import PimUnitConfig, StepStoneConfig
 from repro.core.executor import GemmResult, execute_gemm
 from repro.core.functional import FunctionalStats, functional_gemm
-from repro.core.gemm import GemmShape, plan_gemm
+from repro.core.gemm import GemmShape
 from repro.core.scheduler import PimChoice, choose_execution
 from repro.mapping.analysis import FootprintAnalysis
 from repro.mapping.presets import make_skylake

@@ -12,9 +12,8 @@ experiments use the fast analytic path, with this bridge guarding it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
-import numpy as np
 
 from repro.core.config import StepStoneConfig
 from repro.core.executor import execute_plan

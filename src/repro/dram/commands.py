@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Optional
 
 __all__ = ["CommandType", "Command", "Request", "BankCoord"]
 

@@ -10,7 +10,7 @@ throttling (tRRD, tFAW), and periodic refresh.  The vectorized stream model
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.dram.bank import Bank, RankState
 from repro.dram.commands import BankCoord, Command, CommandType, Request

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional
 
 __all__ = ["ExperimentResult"]
 
@@ -81,7 +81,13 @@ class ExperimentResult:
         """Render this result's figure-shaped ASCII chart (if declared)."""
         if not self.chart:
             return "(no chart declared for this experiment)"
-        from repro.reporting import grouped_bars, line_plot, scaling_plot, stacked_bars
+        from repro.reporting import (
+            grouped_bars,
+            line_plot,
+            scaling_plot,
+            stacked_bars,
+            timeline_plot,
+        )
 
         spec = dict(self.chart)
         kind = spec.pop("kind")
@@ -95,4 +101,6 @@ class ExperimentResult:
             return line_plot(rows, **spec)
         if kind == "scaling":
             return scaling_plot(rows, **spec)
+        if kind == "timeline":
+            return timeline_plot(rows, **spec)
         raise ValueError(f"unknown chart kind {kind!r}")

@@ -13,7 +13,7 @@ from repro.baselines.cpu import CpuGemmModel
 from repro.baselines.gpu import GpuGemmModel
 from repro.core.config import StepStoneConfig
 from repro.core.executor import execute_gemm
-from repro.core.gemm import GemmShape
+
 from repro.experiments.common import ExperimentResult
 from repro.mapping.presets import make_skylake
 from repro.mapping.xor_mapping import PimLevel

@@ -19,6 +19,7 @@ from repro.experiments import (
     fig12_scratchpad,
     fig13_colocation,
     fig14_energy,
+    serve_autoscale,
     serve_cluster,
     serve_online,
 )
@@ -41,6 +42,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablations": ablations.run,
     "serve": serve_online.run,
     "serve-cluster": serve_cluster.run,
+    "serve-autoscale": serve_autoscale.run,
 }
 
 

@@ -1,0 +1,304 @@
+"""Elastic fleet serving under time-varying traffic.
+
+The paper's fleet pitch (§I, §VII) is serving real datacenter inference
+load — diurnal and bursty, not a stationary Poisson stream.  This
+experiment drives the :mod:`repro.autoscale` elastic cluster with the
+trace zoo and asks the provisioning questions the static
+``serve-cluster`` planner cannot:
+
+* **Diurnal elasticity** — a day/night rate swing served by a static
+  fleet sized for the *peak* (the :class:`CapacityPlanner` answer) versus
+  elastic fleets under the reactive and predictive policies.  The
+  autoscalers must hold the p99 SLO while paying fewer node-seconds (and
+  joules) than peak provisioning.
+* **Planner anchor** — under a *constant* trace the SLO-feedback
+  autoscaler probes down until its floor memory pins the minimum feasible
+  fleet; that converged count must equal the static planner's binary
+  search for the same SLO (the correctness cross-check tying the dynamic
+  and static layers together).
+* **Flash crowd** — a traffic spike outruns the provisioning delay, so
+  admission sheds for a moment; the fleet must grow and stop shedding
+  once the new capacity lands.
+
+Everything is seeded: same seed, same traces, same report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.autoscale import (
+    AutoscaleReport,
+    ConstantTrace,
+    DiurnalTrace,
+    ElasticCluster,
+    OnOffTrace,
+    PredictiveTracePolicy,
+    RampTrace,
+    SLOFeedbackPolicy,
+    SpikeTrace,
+    StaticPolicy,
+    TargetUtilizationPolicy,
+    mix_requests,
+    node_capacity_rps,
+)
+from repro.cluster import CapacityPlanner
+from repro.experiments.common import ExperimentResult
+from repro.serving.engine import OnlineServingEngine
+
+__all__ = ["run", "MIX", "SLO_S", "DISPATCH", "make_cluster", "diurnal_trace"]
+
+SEED = 42
+#: Traffic mix every scenario serves (the serve-cluster planner mix).
+MIX: Dict[str, float] = {"BERT": 0.9, "DLRM": 0.1}
+#: Fleet-wide p99 latency SLO (seconds).
+SLO_S = 1.0
+#: Per-node dispatch policy (the paper's concurrent CPU+PIM split).
+DISPATCH = "hybrid"
+CONTROL_INTERVAL_S = 0.5
+
+
+def make_cluster(
+    engine: OnlineServingEngine,
+    initial_nodes: int = 1,
+    max_nodes: int = 12,
+) -> ElasticCluster:
+    """The canonical elastic fleet (shared with tests/benchmarks)."""
+    return ElasticCluster(
+        engine=engine,
+        policy=DISPATCH,
+        models=sorted(MIX),
+        initial_nodes=initial_nodes,
+        min_nodes=1,
+        max_nodes=max_nodes,
+        control_interval_s=CONTROL_INTERVAL_S,
+        provision_base_s=0.15,
+        copy_gbps=10.0,
+    )
+
+
+def diurnal_trace(fast: bool = False) -> DiurnalTrace:
+    """The day/night swing scenario (two periods; one in fast mode)."""
+    if fast:
+        return DiurnalTrace(trough_rps=60.0, peak_rps=500.0, period_s=8.0)
+    return DiurnalTrace(trough_rps=60.0, peak_rps=700.0, period_s=12.0)
+
+
+def _quality_row(res: ExperimentResult, section: str, name: str, rep: AutoscaleReport) -> None:
+    res.add(
+        section=section,
+        case=name,
+        served=rep.served,
+        rejected=len(rep.rejected),
+        shed=rep.shed_fraction,
+        p99_ms=rep.p99_s * 1e3,
+        goodput_rps=rep.goodput_rps,
+        node_s=rep.node_seconds,
+        mean_nodes=rep.mean_fleet_size,
+        peak_nodes=rep.peak_fleet_size,
+        energy_kj=rep.energy_j() / 1e3,
+    )
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    res = ExperimentResult(
+        experiment_id="serve-autoscale",
+        title="Elastic fleet scaling under time-varying traffic",
+        paper_reference="§I/§VII datacenter serving under real (diurnal, bursty) load",
+    )
+    engine = OnlineServingEngine()
+    capacity = node_capacity_rps(engine, MIX, DISPATCH)
+    slos = {m: SLO_S for m in MIX}
+
+    # ---- The trace zoo (for the record: shapes and magnitudes) -------- #
+    horizon = 8.0 if fast else 24.0
+    diurnal = diurnal_trace(fast)
+    zoo = {
+        "diurnal": diurnal,
+        "burst-mmpp": OnOffTrace(
+            base_rps=80.0,
+            burst_rps=400.0,
+            mean_base_s=2.0,
+            mean_burst_s=1.0,
+            horizon_s=horizon,
+            seed=SEED,
+        ),
+        "flash-crowd": SpikeTrace(
+            base_rps=120.0, spike_rps=600.0, spike_at_s=horizon / 3
+        ),
+        "ramp": RampTrace(start_rps=60.0, end_rps=400.0, ramp_s=horizon),
+        "constant": ConstantTrace(300.0),
+    }
+    for name, trace in zoo.items():
+        res.add(
+            section="traces",
+            case=name,
+            mean_rps=trace.mean_rate(0.0, horizon),
+            peak_rps=trace.peak_rate(0.0, horizon),
+        )
+
+    # ---- Diurnal: static peak fleet vs elastic policies --------------- #
+    peak = diurnal.peak_rps
+    planner = CapacityPlanner(
+        MIX, engine=engine, n_requests=150 if fast else 300, seed=SEED
+    )
+    peak_plan = planner.min_nodes(
+        DISPATCH, target_rps=peak, p99_slo_s=SLO_S, max_nodes=16
+    )
+    stream = mix_requests(diurnal, MIX, horizon, seed=SEED, slos=slos)
+    lookahead = (
+        make_cluster(engine).provision_delay_s + CONTROL_INTERVAL_S
+    )
+    contenders = {
+        "static-peak": (StaticPolicy(peak_plan.nodes), peak_plan.nodes),
+        "reactive": (TargetUtilizationPolicy(capacity, target=0.7), 1),
+        "predictive": (
+            PredictiveTracePolicy(diurnal, capacity, lookahead_s=lookahead),
+            1,
+        ),
+    }
+    reports: Dict[str, AutoscaleReport] = {}
+    for name, (policy, start_nodes) in contenders.items():
+        cluster = make_cluster(engine, initial_nodes=start_nodes)
+        rep = cluster.run(stream, policy)
+        reports[name] = rep
+        _quality_row(res, "diurnal", name, rep)
+    static, reactive, predictive = (
+        reports["static-peak"],
+        reports["reactive"],
+        reports["predictive"],
+    )
+    res.check(
+        "reactive holds the p99 SLO on the diurnal trace",
+        reactive.p99_s <= SLO_S,
+    )
+    res.check(
+        "reactive sheds under 2% of offered load",
+        reactive.shed_fraction < 0.02,
+    )
+    res.check(
+        "reactive pays fewer node-seconds than the static peak fleet",
+        reactive.node_seconds < static.node_seconds,
+    )
+    res.check(
+        "reactive pays less energy than the static peak fleet",
+        reactive.energy_j() < static.energy_j(),
+    )
+    res.check(
+        "predictive holds the p99 SLO with fewer node-seconds than static",
+        predictive.p99_s <= SLO_S
+        and predictive.node_seconds < static.node_seconds,
+    )
+    res.note(
+        f"diurnal {diurnal.trough_rps:.0f}->{diurnal.peak_rps:.0f} req/s over "
+        f"{horizon:.0f} s: static peak fleet = {peak_plan.nodes} nodes "
+        f"({static.node_seconds:.0f} node-s), reactive averages "
+        f"{reactive.mean_fleet_size:.2f} nodes ({reactive.node_seconds:.0f} "
+        f"node-s, {reactive.shed_fraction * 100:.2f}% shed), predictive "
+        f"{predictive.mean_fleet_size:.2f} ({predictive.node_seconds:.0f} node-s)"
+    )
+
+    # ---- Planner anchor: constant trace converges to min_nodes -------- #
+    anchor_rate = 300.0
+    anchor_plan = planner.min_nodes(
+        DISPATCH, target_rps=anchor_rate, p99_slo_s=SLO_S, max_nodes=16
+    )
+    anchor_horizon = 14.0 if fast else 20.0
+    # No per-request SLO: the planner's feasibility probe measures the raw
+    # queueing tail, so the autoscaler must see the same signal.
+    anchor_stream = mix_requests(
+        ConstantTrace(anchor_rate), MIX, anchor_horizon, seed=SEED
+    )
+    anchor_cluster = make_cluster(
+        engine, initial_nodes=min(12, anchor_plan.nodes + 2)
+    )
+    anchor_rep = anchor_cluster.run(
+        anchor_stream,
+        SLOFeedbackPolicy(SLO_S, down_margin=0.6, patience=2, settle_s=3.0),
+    )
+    converged = anchor_rep.converged_nodes()
+    _quality_row(res, "anchor", f"slo-feedback@{anchor_rate:.0f}rps", anchor_rep)
+    res.add(
+        section="anchor",
+        case="planner",
+        nodes=anchor_plan.nodes,
+        p99_ms=anchor_plan.report.p99_s * 1e3,
+        probes=len(anchor_plan.probes),
+    )
+    res.check(
+        "constant trace: autoscaler converges to the planner's min_nodes",
+        converged == anchor_plan.nodes,
+    )
+    res.note(
+        f"anchor at {anchor_rate:.0f} req/s, p99 SLO {SLO_S * 1e3:.0f} ms: "
+        f"planner binary search -> {anchor_plan.nodes} nodes, SLO-feedback "
+        f"probe ladder converges to {converged} "
+        f"(floor memory pins the failed {anchor_plan.nodes - 1}-node probe)"
+    )
+
+    # ---- Flash crowd: shed during the gap, recover after -------------- #
+    spike_horizon = 8.0 if fast else 12.0
+    spike = SpikeTrace(
+        base_rps=120.0,
+        spike_rps=500.0 if fast else 700.0,
+        spike_at_s=spike_horizon / 3,
+        rise_s=0.5,
+        decay_s=2.0,
+    )
+    spike_stream = mix_requests(spike, MIX, spike_horizon, seed=SEED + 7, slos=slos)
+    spike_cluster = make_cluster(engine, initial_nodes=1)
+    spike_rep = spike_cluster.run(
+        spike_stream, TargetUtilizationPolicy(capacity, target=0.7)
+    )
+    _quality_row(res, "spike", "reactive", spike_rep)
+    late_rejects = [
+        r
+        for r in spike_rep.rejected
+        if r.rejected_at_s > spike.spike_at_s + 4.0
+    ]
+    res.check(
+        "flash crowd: the fleet grows past its pre-spike size",
+        spike_rep.peak_fleet_size > 1,
+    )
+    res.check(
+        "flash crowd: shedding stops once provisioned capacity lands",
+        not late_rejects,
+    )
+    res.check(
+        "flash crowd: completed requests never exceed their SLO",
+        all(
+            c.latency_s <= c.request.slo_s + 1e-12
+            for c in spike_rep.completed
+            if c.request.slo_s is not None
+        ),
+    )
+    res.note(
+        f"flash crowd {spike.base_rps:.0f}->{spike.spike_rps:.0f} req/s at "
+        f"t={spike.spike_at_s:.1f} s: {len(spike_rep.rejected)} shed during "
+        f"the provisioning gap (delay {spike_cluster.provision_delay_s:.2f} s), "
+        f"fleet peaks at {spike_rep.peak_fleet_size} nodes"
+    )
+
+    # ---- Determinism ------------------------------------------------- #
+    again = make_cluster(engine, initial_nodes=1).run(
+        mix_requests(diurnal, MIX, horizon, seed=SEED, slos=slos),
+        TargetUtilizationPolicy(capacity, target=0.7),
+    )
+    res.check(
+        "deterministic: same seed reproduces the same elastic run",
+        (again.served, len(again.rejected), again.node_seconds, again.p99_s)
+        == (
+            reactive.served,
+            len(reactive.rejected),
+            reactive.node_seconds,
+            reactive.p99_s,
+        ),
+    )
+
+    res.chart = {
+        "kind": "timeline",
+        "rows": reactive.timeline_rows(),
+        "x_key": "t_s",
+        "y_keys": ["nodes", "offered_rps", "p99_ms"],
+    }
+    return res

@@ -12,7 +12,7 @@ split sustains more than either backend alone).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.experiments.common import ExperimentResult
 from repro.serving.engine import OnlineServingEngine, ServingReport, poisson_requests

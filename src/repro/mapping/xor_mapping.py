@@ -21,12 +21,12 @@ bit 0 and the channel bit is the highest PIM ID bit).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.utils.bits import bits_of_mask, mask_of_bits, parity, parity_u64
+from repro.utils.bits import bits_of_mask, parity, parity_u64
 
 __all__ = ["DRAMGeometry", "PimLevel", "XORAddressMapping", "FIELD_ORDER"]
 

@@ -24,8 +24,8 @@ partitions (§III fn. 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.baselines.chopim import echo_gemm, ncho_gemm
 from repro.baselines.cpu import CpuGemmModel

@@ -11,7 +11,7 @@ end-to-end stacks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.baselines.cpu import CpuConfig, XEON_8280

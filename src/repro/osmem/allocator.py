@@ -28,7 +28,7 @@ pinnability query the scheduler consults before requesting subsetting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.mapping.xor_mapping import PimLevel, XORAddressMapping
 from repro.utils.bits import bits_of_mask, parity

@@ -11,8 +11,8 @@ to expose the (in)frequency the paper relies on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.osmem.allocator import Region
 

@@ -1,5 +1,17 @@
 """Terminal rendering of experiment results as figure-shaped charts."""
 
-from repro.reporting.charts import grouped_bars, line_plot, scaling_plot, stacked_bars
+from repro.reporting.charts import (
+    grouped_bars,
+    line_plot,
+    scaling_plot,
+    stacked_bars,
+    timeline_plot,
+)
 
-__all__ = ["grouped_bars", "line_plot", "scaling_plot", "stacked_bars"]
+__all__ = [
+    "grouped_bars",
+    "line_plot",
+    "scaling_plot",
+    "stacked_bars",
+    "timeline_plot",
+]

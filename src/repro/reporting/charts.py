@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["stacked_bars", "grouped_bars", "line_plot", "scaling_plot"]
+__all__ = ["stacked_bars", "grouped_bars", "line_plot", "scaling_plot", "timeline_plot"]
 
 _GLYPHS = "#=+*o%@&"
 
@@ -176,3 +176,62 @@ def scaling_plot(
         )
         table.append(f"{str(r.get(x_key, '')):>8} {cells}")
     return grid + "\n" + "\n".join(table)
+
+
+def timeline_plot(
+    rows: Sequence[Dict[str, Any]],
+    x_key: str,
+    y_keys: Sequence[str],
+    width: int = 64,
+    height: int = 14,
+    title: str = "",
+) -> str:
+    """Mixed-unit time series on one grid (the autoscaler shape).
+
+    An autoscale timeline overlays series with incompatible units — node
+    counts, offered req/s, windowed p99 milliseconds — so each series is
+    normalized to its own [min, max] before plotting, and the legend states
+    every series' range.  NaN points (e.g. the p99 of a window that
+    completed nothing) are simply skipped.
+    """
+    if not rows:
+        return "(no data)"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    spans: Dict[str, tuple] = {}
+    for yk in y_keys:
+        vals = [
+            float(r[yk])
+            for r in rows
+            if r.get(yk) is not None and float(r[yk]) == float(r[yk])
+        ]
+        if vals:
+            spans[yk] = (min(vals), max(vals))
+    for i, yk in enumerate(y_keys):
+        lo, hi = spans.get(yk, (math.nan, math.nan))
+        lines.append(
+            f"legend: {_GLYPHS[i % len(_GLYPHS)]}={yk} "
+            f"[{_fmt(lo)} .. {_fmt(hi)}]"
+        )
+    xs = [float(r.get(x_key, 0.0) or 0.0) for r in rows]
+    x0, x1 = min(xs), max(xs)
+    xr = (x1 - x0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for r, x in zip(rows, xs):
+        col = int((x - x0) / xr * (width - 1))
+        for si, yk in enumerate(y_keys):
+            if yk not in spans or r.get(yk) is None:
+                continue
+            v = float(r[yk])
+            if v != v:  # NaN: window with no signal
+                continue
+            lo, hi = spans[yk]
+            frac = (v - lo) / (hi - lo) if hi > lo else 0.5
+            row_i = height - 1 - int(frac * (height - 1))
+            grid[row_i][col] = _GLYPHS[si % len(_GLYPHS)]
+    for g in grid:
+        lines.append("|" + "".join(g) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"x: {x_key} [{_fmt(x0)} .. {_fmt(x1)}]")
+    return "\n".join(lines)

@@ -9,9 +9,11 @@ from repro.serving.engine import (
     Request,
     ServingReport,
     merge_streams,
+    nearest_rank,
     poisson_requests,
     slo_admit,
     uniform_requests,
+    window_latencies,
 )
 from repro.serving.scheduler import (
     BatchServer,
@@ -30,6 +32,8 @@ __all__ = [
     "ServingReport",
     "OnlineServingEngine",
     "slo_admit",
+    "nearest_rank",
+    "window_latencies",
     "poisson_requests",
     "uniform_requests",
     "merge_streams",

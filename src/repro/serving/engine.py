@@ -47,6 +47,8 @@ __all__ = [
     "ServingReport",
     "OnlineServingEngine",
     "slo_admit",
+    "nearest_rank",
+    "window_latencies",
     "poisson_requests",
     "uniform_requests",
     "merge_streams",
@@ -108,6 +110,36 @@ class RejectedRequest:
     rejected_at_s: float
 
 
+def nearest_rank(sorted_vals: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (NaN when empty).
+
+    The one percentile definition every report in the serving stack shares
+    (:class:`ServingReport`, the fleet's ``ClusterReport``, and the
+    autoscaler's windowed timelines), so their numbers are comparable.
+    """
+    if not 0 < q <= 100:
+        raise ValueError("percentile must be in (0, 100]")
+    if not sorted_vals:
+        return math.nan
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_vals)))
+    return sorted_vals[rank - 1]
+
+
+def window_latencies(
+    completed: Iterable[CompletedRequest], start_s: float, end_s: float
+) -> List[float]:
+    """Sorted latencies of completions that *finished* in ``[start_s, end_s)``.
+
+    Anchoring the window on finish time (not arrival) is what a live
+    autoscaler can actually observe at ``end_s``: a request still in flight
+    has no latency yet.  An empty or inverted window yields ``[]`` (its
+    percentile is NaN), matching "no signal this interval".
+    """
+    return sorted(
+        c.latency_s for c in completed if start_s <= c.finish_s < end_s
+    )
+
+
 @dataclass
 class ServingReport:
     """Latency distribution and sustained throughput of one policy run."""
@@ -132,13 +164,13 @@ class ServingReport:
 
     def latency_percentile(self, q: float) -> float:
         """Nearest-rank percentile of completed-request latency (seconds)."""
-        if not 0 < q <= 100:
-            raise ValueError("percentile must be in (0, 100]")
-        lats = self.latencies_s
-        if not lats:
-            return math.nan
-        rank = max(1, math.ceil(q / 100.0 * len(lats)))
-        return lats[rank - 1]
+        return nearest_rank(self.latencies_s, q)
+
+    def window_percentile(self, q: float, start_s: float, end_s: float) -> float:
+        """Nearest-rank latency percentile over completions finishing in
+        ``[start_s, end_s)`` — NaN when the window saw none (empty stream,
+        all-rejected interval, or a window before the first finish)."""
+        return nearest_rank(window_latencies(self.completed, start_s, end_s), q)
 
     @property
     def p50_s(self) -> float:

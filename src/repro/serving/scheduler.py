@@ -13,7 +13,6 @@ search used by the §V-A claims.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 

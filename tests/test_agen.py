@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.agen import (
-    AffineSubspace,
     ExactStepStoneAGEN,
     agen_supported,
     naive_iterations,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mapping.analysis import FootprintAnalysis, analyze_footprint
+from repro.mapping.analysis import analyze_footprint
 from repro.mapping.presets import make_skylake, mapping_by_id
 from repro.mapping.xor_mapping import PimLevel
 

@@ -255,6 +255,33 @@ class TestClusterRuns:
             rep.latency_percentile(0)
         with pytest.raises(ValueError):
             rep.latency_percentile(101)
+        with pytest.raises(ValueError):
+            rep.window_percentile(0, 0.0, 1.0)
+
+    def test_window_percentile_edge_cases(self, eng):
+        """Empty window, single-completion window, and all-rejected window
+        on the fleet report (the helpers AutoscaleReport reuses)."""
+        stream = _skew(eng)
+        rep = Cluster(3, engine=eng, placement=skew_placement()).run(stream)
+        # a window before any finish has no signal
+        assert math.isnan(rep.window_percentile(99, -1.0, 0.0))
+        # the full window reproduces the run-wide percentile
+        assert rep.window_percentile(99, 0.0, rep.sim_end_s + 1.0) == rep.p99_s
+        # a window holding exactly the earliest completion
+        first = min(c.finish_s for c in rep.completed)
+        only = [c.latency_s for c in rep.completed if c.finish_s == first]
+        got = rep.window_percentile(99, first, first + 1e-12)
+        assert got in only
+
+    def test_all_rejected_window_is_nan(self, eng):
+        """A fleet that sheds everything reports NaN, not a number."""
+        floor = eng.min_latency("BERT", "pim")
+        reqs = [Request(i, "BERT", 0.0, slo_s=floor / 10) for i in range(6)]
+        placement = ModelPlacement(replicas={"BERT": [0, 1]}, used_bytes={})
+        rep = Cluster(2, policy="pim", engine=eng, placement=placement).run(reqs)
+        assert rep.served == 0 and len(rep.rejected) == 6
+        assert math.isnan(rep.window_percentile(99, 0.0, 100.0))
+        assert math.isnan(rep.p99_s)
 
 
 class TestCapacityPlanner:

@@ -5,7 +5,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 

@@ -27,6 +27,7 @@ class TestRegistry:
             "ablations",
             "serve",
             "serve-cluster",
+            "serve-autoscale",
         }
 
     def test_unknown_id_raises(self):

@@ -140,3 +140,46 @@ class TestScalingPlot:
         }
         out = r.render_chart()
         assert "legend" in out and "400.00" in out
+
+
+class TestTimelinePlot:
+    ROWS = [
+        {"t_s": 0.5, "nodes": 1, "offered_rps": 60.0, "p99_ms": 120.0},
+        {"t_s": 1.0, "nodes": 2, "offered_rps": 200.0, "p99_ms": float("nan")},
+        {"t_s": 1.5, "nodes": 4, "offered_rps": 500.0, "p99_ms": 380.0},
+    ]
+
+    def test_series_normalized_with_ranges_in_legend(self):
+        from repro.reporting import timeline_plot
+
+        out = timeline_plot(self.ROWS, "t_s", ["nodes", "offered_rps", "p99_ms"])
+        assert "nodes [1.00 .. 4.00]" in out
+        assert "offered_rps [60.00 .. 500.00]" in out
+        assert "x: t_s [0.50 .. 1.50]" in out
+
+    def test_nan_points_are_skipped(self):
+        from repro.reporting import timeline_plot
+
+        out = timeline_plot(self.ROWS, "t_s", ["p99_ms"])
+        # two real points survive; the NaN window draws nothing
+        grid = [ln for ln in out.splitlines() if ln.startswith("|")]
+        assert sum(ln.count("#") for ln in grid) == 2
+
+    def test_empty_and_all_nan(self):
+        from repro.reporting import timeline_plot
+
+        assert timeline_plot([], "t_s", ["nodes"]) == "(no data)"
+        rows = [{"t_s": 0.0, "y": float("nan")}]
+        out = timeline_plot(rows, "t_s", ["y"])
+        assert "nan" in out.lower()  # legend shows an empty range
+
+    def test_render_chart_timeline(self):
+        r = ExperimentResult("x", "t")
+        r.chart = {
+            "kind": "timeline",
+            "rows": TestTimelinePlot.ROWS,
+            "x_key": "t_s",
+            "y_keys": ["nodes"],
+        }
+        out = r.render_chart()
+        assert "nodes [1.00 .. 4.00]" in out

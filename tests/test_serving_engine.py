@@ -365,3 +365,107 @@ class TestServingReportEdgeCases:
         reqs = [Request(i, "BERT", 0.0) for i in range(3)]
         rep = eng.run(reqs, "cpu")
         assert [c.batch for c in rep.completed] == [3, 3, 3]
+
+
+class TestStreamDeterminismRegression:
+    """Satellite regression: stream generators and `merge_streams` must be
+    reproducible — identical seeds give identical streams, and full
+    (arrival, req_id) ties keep a stable, input-order merge."""
+
+    def test_poisson_identical_seed_identical_stream(self):
+        a = poisson_requests("BERT", rate_rps=250, duration_s=2.0, seed=17, slo_s=0.5)
+        b = poisson_requests("BERT", rate_rps=250, duration_s=2.0, seed=17, slo_s=0.5)
+        assert a == b  # frozen dataclasses: bit-for-bit equality
+        c = poisson_requests("BERT", rate_rps=250, duration_s=2.0, seed=18, slo_s=0.5)
+        assert [r.arrival_s for r in a] != [r.arrival_s for r in c]
+
+    def test_uniform_identical_args_identical_stream(self):
+        a = uniform_requests("DLRM", rate_rps=100, duration_s=1.0, slo_s=0.1)
+        b = uniform_requests("DLRM", rate_rps=100, duration_s=1.0, slo_s=0.1)
+        assert a == b
+
+    def test_merge_is_stable_for_full_ties(self):
+        """Colliding (arrival_s, req_id) pairs — caller-chosen ids may
+        collide across streams — must keep input stream order."""
+        a = [Request(0, "BERT", 1.0), Request(1, "BERT", 1.0)]
+        b = [Request(0, "DLRM", 1.0), Request(1, "DLRM", 1.0)]
+        merged = merge_streams(a, b)
+        assert [(r.req_id, r.model) for r in merged] == [
+            (0, "BERT"),
+            (0, "DLRM"),
+            (1, "BERT"),
+            (1, "DLRM"),
+        ]
+        # and the merge itself is reproducible call to call
+        assert merge_streams(a, b) == merge_streams(a, b)
+
+    def test_merge_of_seeded_streams_is_reproducible(self):
+        def build():
+            return merge_streams(
+                poisson_requests("BERT", 300, 1.0, seed=3, start_id=0),
+                poisson_requests("DLRM", 100, 1.0, seed=4, start_id=1_000_000),
+            )
+
+        assert build() == build()
+
+
+class TestWindowPercentiles:
+    """Satellite coverage: the shared windowed-percentile helpers (reused
+    by ClusterReport and AutoscaleReport) on their edge cases."""
+
+    def _completed(self, finishes):
+        from repro.serving import CompletedRequest
+
+        rep = ServingReport(policy="cpu")
+        for i, f in enumerate(finishes):
+            rep.completed.append(
+                CompletedRequest(
+                    request=Request(i, "BERT", 0.0),
+                    dispatch_s=0.0,
+                    finish_s=f,
+                    batch=1,
+                )
+            )
+        return rep
+
+    def test_empty_window_is_nan(self):
+        rep = self._completed([1.0, 2.0, 3.0])
+        assert math.isnan(rep.window_percentile(99, 10.0, 20.0))
+        # inverted and zero-width windows are empty too
+        assert math.isnan(rep.window_percentile(99, 2.0, 1.0))
+        assert math.isnan(rep.window_percentile(99, 1.0, 1.0))
+
+    def test_empty_report_window_is_nan(self):
+        rep = ServingReport(policy="cpu")
+        assert math.isnan(rep.window_percentile(50, 0.0, 100.0))
+
+    def test_single_request_window(self):
+        rep = self._completed([1.5])
+        assert rep.window_percentile(1, 1.0, 2.0) == 1.5
+        assert rep.window_percentile(99, 1.0, 2.0) == 1.5
+        assert rep.window_percentile(100, 1.0, 2.0) == 1.5
+
+    def test_window_bounds_are_half_open(self):
+        rep = self._completed([1.0, 2.0])
+        assert rep.window_percentile(99, 1.0, 2.0) == 1.0  # [1, 2): keeps 1.0
+        assert rep.window_percentile(99, 1.0, 2.0 + 1e-9) == 2.0
+
+    def test_all_rejected_window_is_nan(self, eng):
+        """A window in which everything was shed has no latency signal."""
+        floor = eng.min_latency("BERT", "pim")
+        reqs = [Request(i, "BERT", 0.0, slo_s=floor / 10) for i in range(4)]
+        rep = eng.run(reqs, "pim")
+        assert len(rep.rejected) == 4
+        assert math.isnan(rep.window_percentile(99, 0.0, 100.0))
+
+    def test_window_matches_full_percentile_when_covering(self, eng):
+        reqs = poisson_requests("BERT", 150, 1.0, seed=9)
+        rep = eng.run(reqs, "hybrid")
+        assert rep.window_percentile(99, 0.0, rep.sim_end_s + 1.0) == rep.p99_s
+
+    def test_percentile_validation_applies_to_windows(self):
+        rep = self._completed([1.0])
+        with pytest.raises(ValueError):
+            rep.window_percentile(0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            rep.window_percentile(101, 0.0, 1.0)

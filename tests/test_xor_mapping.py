@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.mapping.presets import default_geometry, make_skylake, make_toy_mapping
-from repro.mapping.xor_mapping import DRAMGeometry, PimLevel, XORAddressMapping
+from repro.mapping.xor_mapping import PimLevel, XORAddressMapping
 
 
 @pytest.fixture(scope="module")
