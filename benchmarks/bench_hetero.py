@@ -1,0 +1,68 @@
+"""Heterogeneous-fleet harness: the mixed-substrate planning hot paths.
+
+Regenerates the ``serve-hetero`` experiment (cross-substrate batch
+latencies, the all-StepStone equivalence anchor, cost-optimal fleet
+planning across traffic regimes, and the StepStone-baseline + GPU-burst
+elastic run) and benchmarks the planner directly: one full cheapest-fleet
+search at the peak regime and one simulation of its winning mix.  The
+recorded metrics land in ``BENCH_hetero.json`` — the $/hr of the optimal
+mix next to both homogeneous fleets is the repo's fleet-economics
+trajectory.
+"""
+
+from repro.experiments.serve_hetero import REGIMES, hetero_planner
+from repro.serving import OnlineServingEngine
+
+
+def test_serve_hetero_experiment(run_bench):
+    run_bench("serve-hetero")
+
+
+def test_hetero_min_cost_search(benchmark, perf_record):
+    """Cheapest-fleet search at the peak regime (1 GPU is ~27% short)."""
+    engine = OnlineServingEngine()
+    planner = hetero_planner(engine, fast=True)
+    _, rate, slo_s = REGIMES[-1]
+
+    def run():
+        return planner.min_cost_fleet(
+            "hybrid", target_rps=rate, p99_slo_s=slo_s, max_nodes_per_type=16
+        )
+
+    plan = benchmark.pedantic(run, rounds=2, iterations=1)
+    perf_record(
+        "min_cost_fleet_peak",
+        benchmark,
+        mix=" + ".join(f"{c}x{n}" for n, c in sorted(plan.counts.items())),
+        mix_cost_per_hr=round(plan.hourly_cost, 2),
+        stepstone_cost_per_hr=round(plan.homogeneous_cost("stepstone"), 2),
+        gpu_cost_per_hr=round(plan.homogeneous_cost("gpu"), 2),
+        p99_ms=round(plan.report.p99_s * 1e3, 2),
+        probes=len(plan.probes),
+    )
+    assert plan.hourly_cost < plan.homogeneous_cost("stepstone")
+    assert plan.hourly_cost < plan.homogeneous_cost("gpu")
+
+
+def test_mixed_fleet_simulation(benchmark, perf_record):
+    """One simulation of the peak regime's winning mixed fleet."""
+    engine = OnlineServingEngine()
+    planner = hetero_planner(engine, fast=True)
+    _, rate, slo_s = REGIMES[-1]
+    plan = planner.min_cost_fleet(
+        "hybrid", target_rps=rate, p99_slo_s=slo_s, max_nodes_per_type=16
+    )
+
+    def run():
+        return planner.sustains_fleet(plan.counts, "hybrid", rate, slo_s)
+
+    ok, report = benchmark.pedantic(run, rounds=2, iterations=1)
+    perf_record(
+        "mixed_fleet_simulation",
+        benchmark,
+        requests=report.offered,
+        nodes=plan.total_nodes,
+        goodput_rps=round(report.goodput_rps, 2),
+        joules_per_request=round(report.joules_per_request, 3),
+    )
+    assert ok

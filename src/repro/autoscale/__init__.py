@@ -14,10 +14,22 @@ stationary Poisson stream):
   protocol: reactive target-utilization, windowed p99-SLO feedback with
   floor memory, predictive trace lookahead, and the static baseline;
 * :mod:`~repro.autoscale.report` — cost/SLO accounting: node-seconds,
-  Table II-grounded fleet energy, windowed goodput/violation timelines.
+  Table II-grounded fleet energy, windowed goodput/violation timelines;
+* :mod:`~repro.autoscale.hetero` — heterogeneous elasticity: one pool
+  per :class:`~repro.serving.NodeSpec` (e.g. StepStone baseline + GPU
+  burst), scaled independently on one clock, with per-pool $ accounting.
 """
 
 from repro.autoscale.elastic import ElasticCluster, NodeState
+from repro.autoscale.hetero import (
+    BaselineBurstPolicy,
+    HeteroAutoscalePolicy,
+    HeteroAutoscaleReport,
+    HeteroElasticCluster,
+    NodePool,
+    PerPoolPolicy,
+    StaticMixPolicy,
+)
 from repro.autoscale.policies import (
     AutoscalePolicy,
     ControlObservation,
@@ -49,6 +61,13 @@ from repro.autoscale.traces import (
 __all__ = [
     "ElasticCluster",
     "NodeState",
+    "NodePool",
+    "HeteroElasticCluster",
+    "HeteroAutoscalePolicy",
+    "HeteroAutoscaleReport",
+    "StaticMixPolicy",
+    "PerPoolPolicy",
+    "BaselineBurstPolicy",
     "AutoscalePolicy",
     "ControlObservation",
     "StaticPolicy",

@@ -1,0 +1,751 @@
+"""Heterogeneous elastic fleets: per-node-type pools scaled independently.
+
+The homogeneous :class:`~repro.autoscale.elastic.ElasticCluster` turns one
+node count into a control variable; this module turns a *vector* of
+counts into one — a pool per :class:`~repro.serving.NodeSpec`, all serving
+the same request stream on one simulated clock, each scaled on its own by
+the autoscaler.  That is the datacenter shape the paper's cross-substrate
+comparison implies: cheap StepStone sockets carry the baseline load while
+expensive, high-throughput GPU nodes are rented only for the peak.
+
+* :class:`NodePool` — bounds and initial size of one node type's pool;
+* :class:`HeteroElasticCluster` — the discrete-event simulator: the same
+  node lifecycle as the homogeneous elastic fleet (provisioning with a
+  weight-copy delay, draining, retiring, control ticks), but membership,
+  hosting, and scaling decisions are per pool.  Each pool hosts the
+  served models that fit its spec's memory (largest first), so a 12 GB
+  GPU pool naturally skips datacenter-scale weights;
+* :class:`HeteroAutoscalePolicy` and friends — policies that answer with
+  a per-pool target: a static mix, per-pool wrappers around the
+  homogeneous policies, and :class:`BaselineBurstPolicy` (fixed baseline
+  pool, demand-sized burst pool);
+* :class:`HeteroAutoscaleReport` — the cost view: $ paid per pool
+  (node-seconds times the spec's hourly price), spec-grounded energy, and
+  a per-pool size timeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.autoscale.policies import AutoscalePolicy, ControlObservation
+from repro.autoscale.report import AutoscaleReport, ControlSample, NodeLifetime
+from repro.cluster.node import ClusterNode
+from repro.cluster.placement import ModelPlacement
+from repro.cluster.router import Router, make_router
+from repro.serving.engine import (
+    POLICIES,
+    OnlineServingEngine,
+    Request,
+    nearest_rank,
+)
+from repro.serving.nodespec import NodeSpec
+
+__all__ = [
+    "NodePool",
+    "HeteroAutoscalePolicy",
+    "StaticMixPolicy",
+    "PerPoolPolicy",
+    "BaselineBurstPolicy",
+    "HeteroAutoscaleReport",
+    "HeteroElasticCluster",
+]
+
+# Node lifecycle states (shared vocabulary with the homogeneous fleet).
+PROVISIONING = "provisioning"
+ACTIVE = "active"
+DRAINING = "draining"
+RETIRED = "retired"
+
+# Event kinds; numeric order is the tie-break at equal timestamps.
+_EV_FINISH = 0
+_EV_READY = 1
+_EV_CONTROL = 2
+
+
+@dataclass(frozen=True)
+class NodePool:
+    """One node type's elastic pool.
+
+    Args:
+        spec: Hardware of every node in the pool.
+        min_nodes: Lower clamp on the pool's owned size (may be 0 for a
+            burst-only pool).
+        max_nodes: Upper clamp on the pool's owned size.
+        initial_nodes: Pool size at t=0 (within the clamps).
+    """
+
+    spec: NodeSpec
+    min_nodes: int = 0
+    max_nodes: int = 16
+    initial_nodes: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_nodes <= self.max_nodes:
+            raise ValueError("need 0 <= min_nodes <= max_nodes")
+        if not self.min_nodes <= self.initial_nodes <= self.max_nodes:
+            raise ValueError("initial_nodes must lie in [min_nodes, max_nodes]")
+
+
+class HeteroAutoscalePolicy:
+    """Interface: per-pool desired sizes from per-pool observations."""
+
+    name = "hetero-base"
+
+    def desired_by_pool(
+        self, obs: Mapping[str, ControlObservation]
+    ) -> Dict[str, int]:
+        """Desired owned size per pool.
+
+        Args:
+            obs: Pool name -> that pool's windowed observation (its
+                ``arrivals`` count the requests routed to the pool).
+
+        Returns:
+            Pool name -> desired node count (clamped by the cluster).
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear run-local state (called once at the start of each run)."""
+
+
+class StaticMixPolicy(HeteroAutoscalePolicy):
+    """A fixed composition — the baseline every elastic mix is judged
+    against (e.g. the peak-sized plan of
+    :class:`~repro.cluster.planner.HeteroCapacityPlanner`).
+
+    Args:
+        counts: Pool name -> fixed node count.
+    """
+
+    name = "static-mix"
+
+    def __init__(self, counts: Mapping[str, int]) -> None:
+        if not counts or any(c < 0 for c in counts.values()):
+            raise ValueError("counts must be non-negative, at least one pool")
+        self.counts = dict(counts)
+
+    def desired_by_pool(
+        self, obs: Mapping[str, ControlObservation]
+    ) -> Dict[str, int]:
+        """Return the fixed composition regardless of the observation."""
+        return dict(self.counts)
+
+
+class PerPoolPolicy(HeteroAutoscalePolicy):
+    """Run one homogeneous autoscale policy per pool, independently.
+
+    Args:
+        policies: Pool name -> an
+            :class:`~repro.autoscale.policies.AutoscalePolicy` that sees
+            only that pool's observation.  Pools without a policy hold
+            their current size.
+    """
+
+    name = "per-pool"
+
+    def __init__(self, policies: Mapping[str, AutoscalePolicy]) -> None:
+        if not policies:
+            raise ValueError("need at least one pool policy")
+        self.policies = dict(policies)
+
+    def reset(self) -> None:
+        """Reset every wrapped policy."""
+        for p in self.policies.values():
+            p.reset()
+
+    def desired_by_pool(
+        self, obs: Mapping[str, ControlObservation]
+    ) -> Dict[str, int]:
+        """Delegate each pool's sizing to its wrapped policy."""
+        out: Dict[str, int] = {}
+        for pool, ob in obs.items():
+            policy = self.policies.get(pool)
+            out[pool] = policy.desired_nodes(ob) if policy else ob.fleet
+        return out
+
+
+class BaselineBurstPolicy(HeteroAutoscalePolicy):
+    """Fixed cheap baseline, demand-sized expensive burst capacity.
+
+    The heterogeneous division of labor: the baseline pool (e.g.
+    StepStone sockets) stays at a fixed size covering trough traffic, and
+    the burst pool (e.g. GPU nodes) is sized every tick for whatever
+    *total* offered rate exceeds the baseline's capacity.  Upward moves
+    apply immediately (the ramp must be caught within a window);
+    downward moves release one burst node per tick after ``patience``
+    consecutive windows sized below the current pool, so Poisson noise
+    does not flap the expensive nodes.
+
+    Args:
+        baseline: Pool name of the always-on capacity.
+        burst: Pool name of the elastic capacity.
+        baseline_nodes: Fixed baseline pool size.
+        baseline_capacity_rps: Steady-state req/s one baseline node
+            sustains (see
+            :func:`~repro.autoscale.policies.node_capacity_rps`).
+        burst_capacity_rps: Steady-state req/s one burst node sustains.
+        target: Capacity fraction each node is sized to run at.
+        patience: Consecutive down-sized windows before releasing one
+            burst node.
+    """
+
+    name = "baseline-burst"
+
+    def __init__(
+        self,
+        baseline: str,
+        burst: str,
+        baseline_nodes: int,
+        baseline_capacity_rps: float,
+        burst_capacity_rps: float,
+        target: float = 0.75,
+        patience: int = 2,
+    ) -> None:
+        if baseline == burst:
+            raise ValueError("baseline and burst must be different pools")
+        if baseline_nodes < 1:
+            raise ValueError("need at least one baseline node")
+        if baseline_capacity_rps <= 0 or burst_capacity_rps <= 0:
+            raise ValueError("per-node capacities must be positive")
+        if not 0 < target <= 1:
+            raise ValueError("target capacity fraction must be in (0, 1]")
+        if patience < 1:
+            raise ValueError("patience must be at least one window")
+        self.baseline = baseline
+        self.burst = burst
+        self.baseline_nodes = baseline_nodes
+        self.baseline_capacity_rps = baseline_capacity_rps
+        self.burst_capacity_rps = burst_capacity_rps
+        self.target = target
+        self.patience = patience
+        self._down_streak = 0
+
+    def reset(self) -> None:
+        """Forget the scale-down streak."""
+        self._down_streak = 0
+
+    def desired_by_pool(
+        self, obs: Mapping[str, ControlObservation]
+    ) -> Dict[str, int]:
+        """Hold the baseline; size the burst pool for the excess demand."""
+        offered = sum(ob.offered_rps for ob in obs.values())
+        excess = offered - self.baseline_nodes * self.baseline_capacity_rps * self.target
+        sized = max(0, math.ceil(excess / (self.burst_capacity_rps * self.target)))
+        current = obs[self.burst].fleet if self.burst in obs else 0
+        out = {pool: ob.fleet for pool, ob in obs.items()}
+        out[self.baseline] = self.baseline_nodes
+        if sized >= current:
+            self._down_streak = 0
+            out[self.burst] = sized
+        else:
+            self._down_streak += 1
+            if self._down_streak >= self.patience:
+                self._down_streak = 0
+                out[self.burst] = current - 1
+            else:
+                out[self.burst] = current
+        return out
+
+
+@dataclass
+class HeteroAutoscaleReport(AutoscaleReport):
+    """An :class:`~repro.autoscale.report.AutoscaleReport` plus the
+    per-pool cost view of a mixed fleet."""
+
+    #: node id -> pool name.
+    node_pool: Dict[int, str] = field(default_factory=dict)
+    #: pool name -> hardware spec.
+    pool_specs: Dict[str, NodeSpec] = field(default_factory=dict)
+    #: One row per control tick: ``{"t_s": ..., "<pool>_nodes": owned}``.
+    pool_timeline: List[Dict[str, Any]] = field(default_factory=list)
+
+    def node_seconds_by_pool(self) -> Dict[str, float]:
+        """Paid machine seconds per pool (provisioning included)."""
+        out = {pool: 0.0 for pool in self.pool_specs}
+        for nid, life in self.lifetimes.items():
+            out[self.node_pool[nid]] += life.seconds(self.sim_end_s)
+        return out
+
+    @property
+    def cost_usd(self) -> float:
+        """Dollars paid over the run: each node's lifetime at its pool's
+        hourly price."""
+        return sum(
+            sec * self.pool_specs[pool].hourly_cost / 3600.0
+            for pool, sec in self.node_seconds_by_pool().items()
+        )
+
+    @property
+    def mean_hourly_cost(self) -> float:
+        """Average fleet price in $/hr over the horizon (scale-free: a
+        static mix reports exactly its catalog price)."""
+        if self.sim_end_s <= 0:
+            return 0.0
+        return self.cost_usd * 3600.0 / self.sim_end_s
+
+    def energy_j(self, power=None) -> float:
+        """Fleet energy; with ``power=None`` each node is charged its own
+        spec's idle/busy watts (the heterogeneous grounding), otherwise
+        the given :class:`~repro.autoscale.report.FleetPowerModel` is
+        applied fleet-wide like the homogeneous report."""
+        if power is not None:
+            return super().energy_j(power)
+        total = 0.0
+        for nid, life in self.lifetimes.items():
+            spec = self.pool_specs[self.node_pool[nid]]
+            total += spec.energy_j(
+                life.seconds(self.sim_end_s), self.node_busy_s.get(nid, 0.0)
+            )
+        return total
+
+    def summary(self) -> str:
+        """One-line outcome: serving quality plus dollars."""
+        base = super().summary()
+        return f"{base}, ${self.cost_usd:.4f} (${self.mean_hourly_cost:.2f}/hr)"
+
+
+@dataclass
+class _PoolSlot:
+    """One node plus its lifecycle and window bookkeeping."""
+
+    node: ClusterNode
+    pool: str
+    state: str
+    life: NodeLifetime
+    busy_total_prev: float = 0.0
+    overhang_prev: float = 0.0
+    completed_seen: int = 0
+    rejected_seen: int = 0
+
+
+class HeteroElasticCluster:
+    """A mixed-substrate fleet whose per-pool sizes an autoscaler drives.
+
+    Event ordering matches the homogeneous fleets exactly (arrivals
+    before finishes at equal timestamps, finishes tie-broken by node id),
+    and a run under :class:`StaticMixPolicy` with a single all-StepStone
+    pool reproduces the homogeneous
+    :class:`~repro.autoscale.elastic.ElasticCluster` under a static
+    policy.
+
+    Args:
+        pools: Pool name -> :class:`NodePool` (name keys the policies and
+            reports).
+        engine: Shared latency model; a default one when omitted.
+        policy: StepStone dispatch policy for StepStone pools.
+        router: Routing policy name or instance (``backend-affinity``
+            pairs naturally with mixed pools).
+        models: Served model names; ``None`` serves the engine's zoo.
+            Each pool hosts the served models that fit its spec's memory,
+            largest first; every model must fit some pool with
+            ``min_nodes >= 1`` so routing never goes dark.
+        control_interval_s: Autoscaler tick period.
+        provision_base_s: Spin-up seconds before the weight copy.
+        copy_gbps: Weight-copy bandwidth into a provisioning node.
+        max_batch: Per-node batch cap; defaults to the engine's.
+    """
+
+    def __init__(
+        self,
+        pools: Mapping[str, NodePool],
+        engine: Optional[OnlineServingEngine] = None,
+        policy: str = "hybrid",
+        router: "Router | str" = "least-loaded",
+        models: Optional[Iterable[str]] = None,
+        control_interval_s: float = 1.0,
+        provision_base_s: float = 0.15,
+        copy_gbps: float = 10.0,
+        max_batch: Optional[int] = None,
+    ) -> None:
+        if not pools:
+            raise ValueError("need at least one pool")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        if control_interval_s <= 0:
+            raise ValueError("control interval must be positive")
+        if provision_base_s < 0 or copy_gbps <= 0:
+            raise ValueError("provision_base_s >= 0 and copy_gbps > 0 required")
+        self.engine = engine or OnlineServingEngine()
+        self.policy = policy
+        self.router = make_router(router) if isinstance(router, str) else router
+        names = sorted(models) if models is not None else sorted(self.engine.models)
+        unknown = [m for m in names if m not in self.engine.models]
+        if unknown:
+            raise KeyError(f"models unknown to the engine: {unknown}")
+        if not names:
+            raise ValueError("need at least one served model")
+        self.models = names
+        self.pools: Dict[str, NodePool] = dict(pools)
+        self.control_interval_s = control_interval_s
+        self.provision_base_s = provision_base_s
+        self.copy_gbps = copy_gbps
+        self.max_batch = max_batch
+        # Each pool hosts the served models that fit its spec's memory —
+        # the same saturating rule the hetero capacity planner places by.
+        pool_order = list(self.pools)
+        placement = ModelPlacement.saturate(
+            {m: self.engine.models[m] for m in names},
+            [self.pools[p].spec for p in pool_order],
+        )
+        self.hosted: Dict[str, List[str]] = {
+            p: placement.models_on(i) for i, p in enumerate(pool_order)
+        }
+        for m in names:
+            anchors = [
+                p
+                for p, pool in self.pools.items()
+                if m in self.hosted[p] and pool.min_nodes >= 1
+            ]
+            if not anchors:
+                raise ValueError(
+                    f"model {m!r} is not hosted by any pool with "
+                    "min_nodes >= 1; routing could go dark"
+                )
+        if sum(p.initial_nodes for p in self.pools.values()) <= 0:
+            raise ValueError("need at least one initial node across pools")
+        # Run-local state, rebuilt by _fresh().
+        self._slots: Dict[int, _PoolSlot] = {}
+        self._next_id = 0
+        self._arrived_window: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Provisioning model
+    # ------------------------------------------------------------------ #
+
+    def pool_weight_bytes(self, pool: str) -> float:
+        """Bytes a new node of ``pool`` copies before serving."""
+        return float(
+            sum(self.engine.models[m].total_weight_bytes for m in self.hosted[pool])
+        )
+
+    def provision_delay_s(self, pool: str) -> float:
+        """Spin-up plus weight-copy seconds for one new ``pool`` node."""
+        return self.provision_base_s + self.pool_weight_bytes(pool) / (
+            self.copy_gbps * 1e9
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fleet membership
+    # ------------------------------------------------------------------ #
+
+    def _fresh(self) -> None:
+        self._slots = {}
+        self._next_id = 0
+        self._arrived_window = {p: 0 for p in self.pools}
+        self.router.reset()
+        for pool_name in sorted(self.pools):
+            for _ in range(self.pools[pool_name].initial_nodes):
+                self._spawn(pool_name, 0.0, ready_now=True)
+
+    def _spawn(self, pool: str, clock: float, ready_now: bool) -> _PoolSlot:
+        nid = self._next_id
+        self._next_id += 1
+        node = ClusterNode(
+            node_id=nid,
+            engine=self.engine,
+            policy=self.policy,
+            models=set(self.hosted[pool]),
+            max_batch=self.max_batch,
+            spec=self.pools[pool].spec,
+        )
+        life = NodeLifetime(node_id=nid, ordered_s=clock)
+        slot = _PoolSlot(
+            node=node,
+            pool=pool,
+            state=ACTIVE if ready_now else PROVISIONING,
+            life=life,
+        )
+        if ready_now:
+            life.ready_s = clock
+        self._slots[nid] = slot
+        return slot
+
+    def _pool_state(self, pool: str, state: str) -> List[_PoolSlot]:
+        return [
+            s for s in self._slots.values() if s.pool == pool and s.state == state
+        ]
+
+    def replicas_for(self, model: str) -> List[ClusterNode]:
+        """Routable (active) nodes hosting ``model``, id order."""
+        return [
+            s.node
+            for nid, s in sorted(self._slots.items())
+            if s.state == ACTIVE and model in s.node.models
+        ]
+
+    def _retire(self, slot: _PoolSlot, clock: float) -> None:
+        slot.state = RETIRED
+        if slot.life.retired_s is None:
+            slot.life.retired_s = clock
+
+    def _apply_pool_target(
+        self, pool: str, target: int, clock: float, events: List, seq: List[int]
+    ) -> None:
+        """Order, cancel, reactivate, or drain one pool toward ``target``."""
+        owned = self._pool_state(pool, ACTIVE) + self._pool_state(pool, PROVISIONING)
+        delta = target - len(owned)
+        if delta > 0:
+            # Cheapest capacity first: un-drain nodes still finishing
+            # their backlog (they re-enter routing instantly, no copy).
+            draining = sorted(
+                self._pool_state(pool, DRAINING), key=lambda s: -s.node.node_id
+            )
+            for slot in draining[:delta]:
+                slot.state = ACTIVE
+                slot.life.drain_s = None
+                delta -= 1
+            for _ in range(delta):
+                self._spawn(pool, clock, ready_now=False)
+                ready_at = clock + self.provision_delay_s(pool)
+                seq[0] += 1
+                heapq.heappush(
+                    events, (ready_at, _EV_READY, seq[0], self._next_id - 1)
+                )
+        elif delta < 0:
+            shed = -delta
+            # Cancel provisioning nodes first (never held traffic).
+            provisioning = sorted(
+                self._pool_state(pool, PROVISIONING), key=lambda s: -s.node.node_id
+            )
+            for slot in provisioning[:shed]:
+                self._retire(slot, clock)
+                shed -= 1
+            if shed > 0:
+                active = sorted(
+                    self._pool_state(pool, ACTIVE),
+                    key=lambda s: (s.node.backlog(), -s.node.node_id),
+                )
+                # A pool with a hosting anchor (min_nodes >= 1) keeps at
+                # least one active node routable at all times; burst
+                # pools may drain to zero.
+                floor = 1 if self.pools[pool].min_nodes >= 1 else 0
+                can_drain = max(0, len(active) - floor)
+                for slot in active[: min(shed, can_drain)]:
+                    slot.state = DRAINING
+                    slot.life.drain_s = clock
+                    if slot.node.idle and not slot.node.queue:
+                        self._retire(slot, clock)
+
+    # ------------------------------------------------------------------ #
+    # The simulation
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self, requests: Iterable[Request], autoscaler: HeteroAutoscalePolicy
+    ) -> HeteroAutoscaleReport:
+        """Serve an arrival-ordered stream while ``autoscaler`` resizes
+        every pool each control interval.
+
+        Args:
+            requests: Timestamped requests (sorted internally).
+            autoscaler: A per-pool policy.
+
+        Returns:
+            The :class:`HeteroAutoscaleReport` for the run.
+        """
+        self._fresh()
+        autoscaler.reset()
+        arrivals = deque(sorted(requests, key=lambda r: (r.arrival_s, r.req_id)))
+        last_arrival = arrivals[-1].arrival_s if arrivals else 0.0
+        report = HeteroAutoscaleReport(
+            policy=self.policy,
+            autoscaler=autoscaler.name,
+            control_interval_s=self.control_interval_s,
+            last_arrival_s=last_arrival,
+            pool_specs={p: pool.spec for p, pool in self.pools.items()},
+        )
+        events: List = []
+        seq = [0]
+        if arrivals:
+            t_tick = self.control_interval_s
+            while t_tick <= last_arrival + self.control_interval_s:
+                seq[0] += 1
+                heapq.heappush(events, (t_tick, _EV_CONTROL, seq[0], None))
+                t_tick += self.control_interval_s
+        clock = 0.0
+        last_service_end = 0.0
+        prev_tick_t = 0.0
+
+        def dispatch(nid: int, now: float) -> None:
+            slot = self._slots[nid]
+            finish = slot.node.try_dispatch(now)
+            if finish is not None:
+                heapq.heappush(events, (finish, _EV_FINISH, nid, None))
+
+        while arrivals or events:
+            t_arr = arrivals[0].arrival_s if arrivals else math.inf
+            t_ev = events[0][0] if events else math.inf
+            if t_arr <= t_ev:
+                clock = t_arr
+                touched: Dict[int, ClusterNode] = {}
+                while arrivals and arrivals[0].arrival_s == clock:
+                    r = arrivals.popleft()
+                    replicas = self.replicas_for(r.model)
+                    node = self.router.route(r, replicas, clock)
+                    node.enqueue(r)
+                    self._arrived_window[self._slots[node.node_id].pool] += 1
+                    touched[node.node_id] = node
+                for nid in sorted(touched):
+                    if touched[nid].idle:
+                        dispatch(nid, clock)
+                continue
+            t, kind, key, payload = heapq.heappop(events)
+            clock = t
+            if kind == _EV_FINISH:
+                nid = key
+                slot = self._slots[nid]
+                slot.node.finish_batch(clock)
+                last_service_end = clock
+                dispatch(nid, clock)
+                if (
+                    slot.state == DRAINING
+                    and slot.node.idle
+                    and not slot.node.queue
+                ):
+                    self._retire(slot, clock)
+            elif kind == _EV_READY:
+                slot = self._slots[payload]
+                if slot.state == PROVISIONING:
+                    slot.state = ACTIVE
+                    slot.life.ready_s = clock
+            elif kind == _EV_CONTROL:
+                obs = self._observe(prev_tick_t, clock)
+                prev_tick_t = clock
+                desired = autoscaler.desired_by_pool(obs)
+                unknown = sorted(set(desired) - set(self.pools))
+                if unknown:
+                    raise ValueError(
+                        f"policy {autoscaler.name!r} targets unknown pools "
+                        f"{unknown}; cluster pools: {sorted(self.pools)}"
+                    )
+                timeline_row: Dict[str, Any] = {"t_s": round(clock, 6)}
+                targets: Dict[str, int] = {}
+                for pool_name in sorted(self.pools):
+                    pool = self.pools[pool_name]
+                    want = desired.get(pool_name, obs[pool_name].fleet)
+                    target = max(pool.min_nodes, min(pool.max_nodes, want))
+                    targets[pool_name] = target
+                    self._apply_pool_target(pool_name, target, clock, events, seq)
+                    timeline_row[f"{pool_name}_nodes"] = (
+                        len(self._pool_state(pool_name, ACTIVE))
+                        + len(self._pool_state(pool_name, PROVISIONING))
+                    )
+                report.pool_timeline.append(timeline_row)
+                agg = self._aggregate(obs)
+                report.samples.append(
+                    ControlSample(
+                        t=clock,
+                        active=agg.active,
+                        provisioning=agg.provisioning,
+                        draining=agg.draining,
+                        desired=sum(targets.values()),
+                        arrivals=agg.arrivals,
+                        completions=agg.completions,
+                        rejections=agg.rejections,
+                        window_p99_s=agg.window_p99_s,
+                        utilization=agg.utilization,
+                        backlog=agg.backlog,
+                    )
+                )
+        sim_end = max(last_service_end, last_arrival)
+        for slot in self._slots.values():
+            if slot.state != RETIRED:
+                self._retire(slot, sim_end)
+        report.sim_end_s = sim_end
+        for nid, slot in sorted(self._slots.items()):
+            slot.node.report.sim_end_s = sim_end
+            report.node_reports[nid] = slot.node.report
+            report.lifetimes[nid] = slot.life
+            report.node_busy_s[nid] = slot.node.busy_s
+            report.node_pool[nid] = slot.pool
+        return report
+
+    def _observe(self, t0: float, t1: float) -> Dict[str, ControlObservation]:
+        """Per-pool windowed observations over ``(t0, t1]``."""
+        interval = t1 - t0
+        out: Dict[str, ControlObservation] = {}
+        for pool_name in self.pools:
+            window_lats: List[float] = []
+            completions = 0
+            rejections = 0
+            busy_window = 0.0
+            backlog = 0
+            for slot in self._slots.values():
+                if slot.pool != pool_name:
+                    continue
+                rep = slot.node.report
+                new_completed = rep.completed[slot.completed_seen:]
+                slot.completed_seen = len(rep.completed)
+                completions += len(new_completed)
+                window_lats.extend(c.latency_s for c in new_completed)
+                rejections += len(rep.rejected) - slot.rejected_seen
+                slot.rejected_seen = len(rep.rejected)
+                overhang = (
+                    max(0.0, slot.node.busy_until - t1)
+                    if slot.node.in_flight
+                    else 0.0
+                )
+                busy_window += (
+                    slot.node.busy_s
+                    - slot.busy_total_prev
+                    - overhang
+                    + slot.overhang_prev
+                )
+                slot.busy_total_prev = slot.node.busy_s
+                slot.overhang_prev = overhang
+                if slot.state != RETIRED:
+                    backlog += slot.node.backlog()
+            n_active = len(self._pool_state(pool_name, ACTIVE))
+            n_draining = len(self._pool_state(pool_name, DRAINING))
+            n_serving = n_active + n_draining
+            util = 0.0
+            if interval > 0 and n_serving:
+                util = max(0.0, min(1.0, busy_window / (interval * n_serving)))
+            window_lats.sort()
+            out[pool_name] = ControlObservation(
+                t=t1,
+                interval_s=interval,
+                active=n_active,
+                provisioning=len(self._pool_state(pool_name, PROVISIONING)),
+                draining=n_draining,
+                arrivals=self._arrived_window[pool_name],
+                completions=completions,
+                rejections=rejections,
+                window_p99_s=nearest_rank(window_lats, 99),
+                utilization=util,
+                backlog=backlog,
+            )
+            self._arrived_window[pool_name] = 0
+        return out
+
+    @staticmethod
+    def _aggregate(obs: Mapping[str, ControlObservation]) -> ControlObservation:
+        """Fleet-wide view of one tick (for the shared timeline format)."""
+        some = next(iter(obs.values()))
+        servings = sum(o.active + o.draining for o in obs.values())
+        util = 0.0
+        if servings:
+            util = (
+                sum(o.utilization * (o.active + o.draining) for o in obs.values())
+                / servings
+            )
+        p99s = [o.window_p99_s for o in obs.values() if o.window_p99_s == o.window_p99_s]
+        return ControlObservation(
+            t=some.t,
+            interval_s=some.interval_s,
+            active=sum(o.active for o in obs.values()),
+            provisioning=sum(o.provisioning for o in obs.values()),
+            draining=sum(o.draining for o in obs.values()),
+            arrivals=sum(o.arrivals for o in obs.values()),
+            completions=sum(o.completions for o in obs.values()),
+            rejections=sum(o.rejections for o in obs.values()),
+            window_p99_s=max(p99s) if p99s else math.nan,
+            utilization=util,
+            backlog=sum(o.backlog for o in obs.values()),
+        )

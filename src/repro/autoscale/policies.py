@@ -34,6 +34,7 @@ from typing import Dict, Mapping, Optional
 
 from repro.autoscale.traces import RateTrace
 from repro.serving.engine import OnlineServingEngine
+from repro.serving.nodespec import NodeSpec
 
 __all__ = [
     "ControlObservation",
@@ -77,6 +78,7 @@ class ControlObservation:
 
     @property
     def offered_rps(self) -> float:
+        """Arrival rate measured over the window, req/s."""
         return self.arrivals / self.interval_s if self.interval_s > 0 else 0.0
 
 
@@ -86,6 +88,14 @@ class AutoscalePolicy:
     name = "base"
 
     def desired_nodes(self, obs: ControlObservation) -> int:
+        """Desired fleet size (active + provisioning) after one tick.
+
+        Args:
+            obs: The windowed fleet observation at this control tick.
+
+        Returns:
+            The desired node count (the cluster clamps it to bounds).
+        """
         raise NotImplementedError
 
     def reset(self) -> None:
@@ -103,6 +113,7 @@ class StaticPolicy(AutoscalePolicy):
         self.nodes = nodes
 
     def desired_nodes(self, obs: ControlObservation) -> int:
+        """The fixed fleet size, regardless of the observation."""
         return self.nodes
 
 
@@ -145,9 +156,11 @@ class TargetUtilizationPolicy(AutoscalePolicy):
         self._down_streak = 0
 
     def reset(self) -> None:
+        """Forget the scale-down streak."""
         self._down_streak = 0
 
     def desired_nodes(self, obs: ControlObservation) -> int:
+        """Demand-sized fleet: offered rate over per-node target capacity."""
         sized = max(1, math.ceil(obs.offered_rps / (self.target * self.capacity_rps)))
         if sized >= obs.fleet:
             self._down_streak = 0
@@ -207,6 +220,7 @@ class SLOFeedbackPolicy(AutoscalePolicy):
         self._last_up_t = -math.inf
 
     def reset(self) -> None:
+        """Clear the floor memory, comfort streak, and settle timer."""
         self._violated_at.clear()
         self._comfort_streak = 0
         self._last_up_t = -math.inf
@@ -221,6 +235,7 @@ class SLOFeedbackPolicy(AutoscalePolicy):
         return max(live, default=0)
 
     def desired_nodes(self, obs: ControlObservation) -> int:
+        """One up on violation, one probed down after sustained comfort."""
         settling = obs.t - self._last_up_t < self.settle_s
         p99 = obs.window_p99_s
         violated = (p99 == p99 and p99 > self.p99_slo_s) or (
@@ -282,6 +297,7 @@ class PredictiveTracePolicy(AutoscalePolicy):
         self.headroom = headroom
 
     def desired_nodes(self, obs: ControlObservation) -> int:
+        """Provision for the trace's peak over the lookahead window."""
         peak = self.trace.peak_rate(obs.t, obs.t + self.lookahead_s)
         return max(1, math.ceil(self.headroom * peak / self.capacity_rps))
 
@@ -291,21 +307,38 @@ def node_capacity_rps(
     mix: Mapping[str, float],
     policy: str,
     batch: Optional[int] = None,
+    spec: Optional["NodeSpec"] = None,
 ) -> float:
     """Steady-state req/s one node sustains on a traffic mix.
 
     At full batches the node serves ``batch / batch_latency`` of each model;
     a mix costs the share-weighted harmonic combination (time to serve one
     request averaged over the mix).  This is the per-node capacity estimate
-    the predictive policy divides by.
+    the predictive and baseline-burst policies divide by.
+
+    With a ``spec``, mix models that do not fit the node's memory are
+    excluded — the node will never host them (the elastic pools and the
+    saturating placement both skip them), so its capacity covers only the
+    traffic share it can actually absorb, mirroring
+    :meth:`~repro.cluster.planner.HeteroCapacityPlanner.capacity_rps`.
+
+    Args:
+        engine: The shared latency model.
+        mix: Model name -> traffic share (normalized internally).
+        policy: StepStone dispatch policy (``cpu``/``pim``/``hybrid``).
+        batch: Batch size the estimate assumes; defaults to the engine cap.
+        spec: Node hardware; ``None`` means the default StepStone node.
+
+    Returns:
+        Requests per second at steady state.
+
+    Raises:
+        ValueError: If the shares do not sum positive, or no mix model
+            fits the spec's memory.
     """
-    total = float(sum(mix.values()))
-    if total <= 0:
-        raise ValueError("traffic mix shares must sum > 0")
-    b = batch if batch is not None else engine.max_batch
-    per_req_s = 0.0
-    for model, share in mix.items():
-        if share <= 0:
-            continue
-        per_req_s += (share / total) * engine.batch_latency(model, policy, b) / b
-    return 1.0 / per_req_s
+    capacity = engine.mix_capacity_rps(mix, policy, batch=batch, spec=spec)
+    if capacity <= 0:
+        raise ValueError(
+            f"no mix model fits the {spec.name if spec else 'node'} memory"
+        )
+    return capacity

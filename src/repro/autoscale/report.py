@@ -114,8 +114,28 @@ class FleetPowerModel:
         """Watts of DRAM traffic at ``stream_gbps`` per Table II."""
         return self.stream_gbps * 1e9 * 8 * self.table.off_chip_pj_per_bit * 1e-12
 
+    @classmethod
+    def from_spec(cls, spec) -> "FleetPowerModel":
+        """A power model matching one :class:`~repro.serving.NodeSpec`.
+
+        Args:
+            spec: The node spec whose ``idle_w``/``busy_w`` to mirror (the
+                busy increment lands in ``cpu_active_w``; no separate DRAM
+                stream term, since the spec's busy watts already include
+                its substrate's streaming power).
+
+        Returns:
+            A :class:`FleetPowerModel` with the spec's idle/busy watts.
+        """
+        return cls(
+            idle_w=spec.idle_w,
+            cpu_active_w=spec.busy_w - spec.idle_w,
+            stream_gbps=0.0,
+        )
+
     @property
     def busy_w(self) -> float:
+        """Total watts while serving a batch."""
         return self.idle_w + self.cpu_active_w + self.dram_stream_w
 
     def energy_j(self, node_seconds: float, busy_seconds: float) -> float:
@@ -146,18 +166,22 @@ class AutoscaleReport:
 
     @property
     def completed(self) -> List[CompletedRequest]:
+        """Every completed request across the run (node order)."""
         return [c for rep in self.node_reports.values() for c in rep.completed]
 
     @property
     def rejected(self) -> List[RejectedRequest]:
+        """Every admission-rejected request across the run (node order)."""
         return [r for rep in self.node_reports.values() for r in rep.rejected]
 
     @property
     def served(self) -> int:
+        """Total completed requests."""
         return sum(len(rep.completed) for rep in self.node_reports.values())
 
     @property
     def offered(self) -> int:
+        """Total requests the fleet saw (completed + rejected)."""
         return sum(rep.offered for rep in self.node_reports.values())
 
     @property
@@ -167,11 +191,20 @@ class AutoscaleReport:
 
     @property
     def latencies_s(self) -> List[float]:
+        """Run-wide completed latencies, ascending (memoized)."""
         if len(self._sorted_lat) != self.served:
             self._sorted_lat = sorted(c.latency_s for c in self.completed)
         return self._sorted_lat
 
     def latency_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of run-wide completed latency.
+
+        Args:
+            q: Percentile in (0, 100].
+
+        Returns:
+            Latency seconds (NaN when nothing completed).
+        """
         return nearest_rank(self.latencies_s, q)
 
     def window_percentile(self, q: float, start_s: float, end_s: float) -> float:
@@ -181,10 +214,12 @@ class AutoscaleReport:
 
     @property
     def p50_s(self) -> float:
+        """Median run-wide latency, seconds."""
         return self.latency_percentile(50)
 
     @property
     def p99_s(self) -> float:
+        """99th-percentile run-wide latency, seconds."""
         return self.latency_percentile(99)
 
     @property
@@ -207,6 +242,7 @@ class AutoscaleReport:
 
     @property
     def busy_seconds(self) -> float:
+        """Seconds of the paid machine time spent serving batches."""
         return sum(self.node_busy_s.values())
 
     @property
@@ -218,6 +254,7 @@ class AutoscaleReport:
 
     @property
     def peak_fleet_size(self) -> int:
+        """Largest owned fleet (active + provisioning) at any tick."""
         return max((s.active + s.provisioning for s in self.samples), default=0)
 
     def energy_j(self, power: Optional[FleetPowerModel] = None) -> float:
@@ -268,6 +305,7 @@ class AutoscaleReport:
         return max(dwell, key=lambda n: (dwell[n], latest[n]))
 
     def summary(self) -> str:
+        """One-line outcome: counts, tail, rate, node-seconds, energy."""
         p99 = self.p99_s
         p99_txt = f"{p99 * 1e3:.2f} ms" if p99 == p99 else "n/a"
         return (

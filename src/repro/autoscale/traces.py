@@ -97,9 +97,11 @@ class ScaledTrace(RateTrace):
             raise ValueError("scale factor must be non-negative")
 
     def rate_at(self, t: float) -> float:
+        """The base trace's rate at ``t`` times the scale factor."""
         return self.factor * self.base.rate_at(t)
 
     def peak_rate(self, start_s: float, end_s: float) -> float:
+        """The base trace's windowed peak times the scale factor."""
         return self.factor * self.base.peak_rate(start_s, end_s)
 
 
@@ -114,9 +116,11 @@ class ConstantTrace(RateTrace):
             raise ValueError("rate must be non-negative")
 
     def rate_at(self, t: float) -> float:
+        """The constant rate, at every ``t``."""
         return self.rate_rps
 
     def peak_rate(self, start_s: float, end_s: float) -> float:
+        """The constant rate, over every window."""
         return self.rate_rps
 
 
@@ -139,10 +143,12 @@ class DiurnalTrace(RateTrace):
             raise ValueError("period must be positive")
 
     def rate_at(self, t: float) -> float:
+        """The raised-cosine rate at ``t``."""
         swing = 0.5 * (1.0 - math.cos(2.0 * math.pi * (t - self.phase_s) / self.period_s))
         return self.trough_rps + (self.peak_rps - self.trough_rps) * swing
 
     def peak_rate(self, start_s: float, end_s: float) -> float:
+        """Exact windowed maximum of the diurnal curve."""
         # Summits sit at phase + (k + 1/2) * period; if the window holds
         # one the max is the peak, otherwise the curve is monotone between
         # extrema and an endpoint wins.
@@ -190,10 +196,12 @@ class OnOffTrace(RateTrace):
         self._switches = switches
 
     def rate_at(self, t: float) -> float:
+        """The current MMPP state's rate (base or burst) at ``t``."""
         burst = bisect.bisect_right(self._switches, t) % 2 == 1
         return self.burst_rps if burst else self.base_rps
 
     def peak_rate(self, start_s: float, end_s: float) -> float:
+        """Windowed maximum over the pre-drawn state switches."""
         # Both states appear in the window iff a switch falls inside it.
         if bisect.bisect_right(self._switches, end_s) != bisect.bisect_right(
             self._switches, start_s
@@ -221,6 +229,7 @@ class SpikeTrace(RateTrace):
             raise ValueError("rise and decay constants must be positive")
 
     def rate_at(self, t: float) -> float:
+        """Base, linear rise, or exponential-decay rate at ``t``."""
         if t < self.spike_at_s:
             return self.base_rps
         lift = self.spike_rps - self.base_rps
@@ -230,6 +239,7 @@ class SpikeTrace(RateTrace):
         return self.base_rps + lift * math.exp(-dt / self.decay_s)
 
     def peak_rate(self, start_s: float, end_s: float) -> float:
+        """Windowed maximum of the unimodal flash-crowd curve."""
         # Unimodal with its summit at the end of the rise.
         summit = self.spike_at_s + self.rise_s
         peak_t = min(max(summit, start_s), end_s)
@@ -252,6 +262,7 @@ class RampTrace(RateTrace):
             raise ValueError("ramp duration must be positive")
 
     def rate_at(self, t: float) -> float:
+        """The linearly interpolated ramp rate at ``t``."""
         if t <= 0:
             return self.start_rps
         if t >= self.ramp_s:
@@ -259,7 +270,7 @@ class RampTrace(RateTrace):
         return self.start_rps + (self.end_rps - self.start_rps) * t / self.ramp_s
 
     def peak_rate(self, start_s: float, end_s: float) -> float:
-        # Monotone: an endpoint of the window is always the max.
+        """Windowed maximum (an endpoint — the ramp is monotone)."""
         return max(self.rate_at(start_s), self.rate_at(end_s))
 
 
@@ -305,6 +316,7 @@ class ReplayTrace(RateTrace):
         return cls(points=tuple(points))
 
     def rate_at(self, t: float) -> float:
+        """Piecewise-linear interpolation of the samples at ``t``."""
         i = bisect.bisect_right(self._times, t)
         if i == 0:
             return self.points[0][1]
@@ -314,6 +326,7 @@ class ReplayTrace(RateTrace):
         return r0 + (r1 - r0) * (t - t0) / (t1 - t0)
 
     def peak_rate(self, start_s: float, end_s: float) -> float:
+        """Windowed maximum over interior samples and the window edges."""
         inside = [
             r for t, r in self.points if start_s <= t <= end_s
         ]

@@ -26,6 +26,9 @@ class GpuConfig:
     name: str = "titan-xp"
     peak_flops: float = 12.15e12  # fp32
     device_bw_gbps: float = 547.6
+    #: On-card memory capacity — the weight-hosting budget of a GPU fleet
+    #: node (Titan Xp: 12 GB of GDDR5X).
+    device_memory_bytes: float = 12e9
     #: Effective PCIe 3.0 x16 staging bandwidth for pageable host weights
     #: (well below the 15.75 GB/s wire rate); calibrated so batch-1
     #: host-resident GPU GEMM lands below the CPU, as Fig. 1 shows.

@@ -13,7 +13,14 @@ above :mod:`repro.serving` — many nodes on one shared simulated clock:
 * :mod:`~repro.cluster.fleet` — the discrete-event fleet simulator and its
   aggregated :class:`~repro.cluster.fleet.ClusterReport`;
 * :mod:`~repro.cluster.planner` — capacity planning: the minimum node
-  count sustaining a target load at a p99 SLO.
+  count sustaining a target load at a p99 SLO, and the heterogeneous
+  cost-minimizing search (`HeteroCapacityPlanner`) over mixed
+  CPU/GPU/StepStone fleets.
+
+Nodes need not be StepStone: every node carries a
+:class:`~repro.serving.NodeSpec` (backend, memory, $/hr, power), and an
+all-StepStone spec list reproduces the homogeneous fleet request for
+request.
 """
 
 from repro.cluster.fleet import Cluster, ClusterReport
@@ -23,10 +30,16 @@ from repro.cluster.placement import (
     ModelPlacement,
     PlacementError,
 )
-from repro.cluster.planner import CapacityPlan, CapacityPlanner
+from repro.cluster.planner import (
+    CapacityPlan,
+    CapacityPlanner,
+    HeteroCapacityPlan,
+    HeteroCapacityPlanner,
+)
 from repro.cluster.router import (
     ROUTER_POLICIES,
     AffinityRouter,
+    BackendAffinityRouter,
     LeastLoadedRouter,
     RoundRobinRouter,
     Router,
@@ -42,10 +55,13 @@ __all__ = [
     "DEFAULT_NODE_CAPACITY_BYTES",
     "CapacityPlan",
     "CapacityPlanner",
+    "HeteroCapacityPlan",
+    "HeteroCapacityPlanner",
     "Router",
     "RoundRobinRouter",
     "LeastLoadedRouter",
     "AffinityRouter",
+    "BackendAffinityRouter",
     "ROUTER_POLICIES",
     "make_router",
 ]

@@ -1,4 +1,4 @@
-"""The fleet simulator: N StepStone nodes on one shared simulated clock.
+"""The fleet simulator: N nodes (of possibly mixed hardware) on one clock.
 
 ``Cluster`` composes the pieces — a :class:`~repro.cluster.placement.ModelPlacement`
 deciding which nodes can serve which model, a :class:`~repro.cluster.router.Router`
@@ -11,6 +11,10 @@ before dispatching), and finish events tie-break by node id.
 
 A one-node cluster reproduces :meth:`OnlineServingEngine.run` exactly —
 the fleet layer adds routing and placement, not new service semantics.
+Heterogeneity is additive the same way: passing ``specs`` (one
+:class:`~repro.serving.NodeSpec` per node) swaps each node's hardware
+latency model, and a fleet of all-StepStone specs reproduces the
+homogeneous cluster request for request.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ import heapq
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.cluster.node import ClusterNode
 from repro.cluster.placement import (
@@ -37,6 +41,7 @@ from repro.serving.engine import (
     nearest_rank,
     window_latencies,
 )
+from repro.serving.nodespec import STEPSTONE_NODE, NodeSpec
 
 __all__ = ["Cluster", "ClusterReport"]
 
@@ -54,32 +59,47 @@ class ClusterReport:
     last_arrival_s: float = 0.0
     #: Per-node busy seconds (service time integrated over the run).
     node_busy_s: List[float] = field(default_factory=list)
+    #: Hardware spec per node — present for every ``Cluster.run`` report;
+    #: ``None`` only on hand-built reports, where cost is undefined.
+    specs: Optional[List[NodeSpec]] = None
     _sorted_lat: List[float] = field(default_factory=list, repr=False, compare=False)
 
     @property
     def completed(self) -> List[CompletedRequest]:
+        """Every completed request across the fleet (node order)."""
         return [c for rep in self.node_reports for c in rep.completed]
 
     @property
     def rejected(self) -> List[RejectedRequest]:
+        """Every admission-rejected request across the fleet (node order)."""
         return [r for rep in self.node_reports for r in rep.rejected]
 
     @property
     def offered(self) -> int:
+        """Total requests the fleet saw (completed + rejected)."""
         return sum(rep.offered for rep in self.node_reports)
 
     @property
     def served(self) -> int:
+        """Total completed requests."""
         return sum(len(rep.completed) for rep in self.node_reports)
 
     @property
     def latencies_s(self) -> List[float]:
+        """Fleet-wide completed latencies, ascending (memoized)."""
         if len(self._sorted_lat) != self.served:
             self._sorted_lat = sorted(c.latency_s for c in self.completed)
         return self._sorted_lat
 
     def latency_percentile(self, q: float) -> float:
-        """Nearest-rank percentile of fleet-wide completed latency."""
+        """Nearest-rank percentile of fleet-wide completed latency.
+
+        Args:
+            q: Percentile in (0, 100].
+
+        Returns:
+            Latency seconds (NaN when nothing completed).
+        """
         return nearest_rank(self.latencies_s, q)
 
     def window_percentile(self, q: float, start_s: float, end_s: float) -> float:
@@ -89,10 +109,12 @@ class ClusterReport:
 
     @property
     def p50_s(self) -> float:
+        """Median fleet latency, seconds."""
         return self.latency_percentile(50)
 
     @property
     def p99_s(self) -> float:
+        """99th-percentile fleet latency, seconds."""
         return self.latency_percentile(99)
 
     @property
@@ -120,25 +142,79 @@ class ClusterReport:
             return 0.0
         return sum(self.node_busy_s) / (self.sim_end_s * len(self.node_busy_s))
 
+    # ------------------------------------------------------------------ #
+    # Cost and energy (heterogeneous-fleet economics)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def hourly_cost(self) -> float:
+        """Fleet price in $/hr (NaN when node specs are unknown)."""
+        if self.specs is None:
+            return math.nan
+        return sum(s.hourly_cost for s in self.specs)
+
+    def energy_j(self) -> float:
+        """Fleet energy over the run: every node pays its spec's idle
+        power for the full horizon and the busy increment while serving
+        (NaN when node specs are unknown)."""
+        if self.specs is None:
+            return math.nan
+        busy = self.node_busy_s or [0.0] * len(self.specs)
+        return sum(
+            spec.energy_j(self.sim_end_s, b) for spec, b in zip(self.specs, busy)
+        )
+
+    @property
+    def joules_per_request(self) -> float:
+        """Fleet energy divided by completed requests (NaN when nothing
+        completed or specs are unknown)."""
+        if self.specs is None or self.served == 0:
+            return math.nan
+        return self.energy_j() / self.served
+
     def served_per_node(self) -> List[int]:
+        """Completed-request count per node, node order."""
         return [len(rep.completed) for rep in self.node_reports]
 
     def summary(self) -> str:
+        """One-line fleet summary (counts, percentiles, rate, util)."""
+        cost = ""
+        if self.specs is not None:
+            cost = f", ${self.hourly_cost:.2f}/hr"
         return (
             f"{len(self.node_reports)}x{self.policy}/{self.router}: "
             f"{self.served} served, {len(self.rejected)} rejected | "
             f"p50 {self.p50_s * 1e3:.2f} ms, p99 {self.p99_s * 1e3:.2f} ms | "
             f"{self.goodput_rps:.0f} req/s, "
-            f"util {self.mean_utilization * 100:.0f}%"
+            f"util {self.mean_utilization * 100:.0f}%{cost}"
         )
 
 
 class Cluster:
-    """A routed fleet of StepStone nodes sharing one latency model."""
+    """A routed fleet of serving nodes sharing one latency model.
+
+    Args:
+        n_nodes: Fleet size; may be omitted when ``specs`` is given.
+        policy: StepStone dispatch policy for StepStone nodes (cpu/gpu
+            nodes run their only dispatch regardless).
+        router: Routing policy name or a :class:`Router` instance.
+        engine: Shared latency model; a default engine over the full model
+            zoo when omitted.
+        placement: Weight placement; defaults to a greedy capacity-aware
+            plan over the engine's models.
+        replication: Replicas per model for the default placement.
+        capacity_bytes: Per-node weight budget for the default placement
+            on a homogeneous fleet (ignored when ``specs`` is given —
+            each spec's ``memory_bytes`` is used instead).
+        max_batch: Per-node batch cap; defaults to the engine's.
+        specs: One :class:`~repro.serving.NodeSpec` per node for a
+            heterogeneous fleet; ``None`` means all-StepStone (the
+            homogeneous fleet this class always simulated).
+    """
 
     def __init__(
         self,
-        n_nodes: int,
+        n_nodes: Optional[int] = None,
         policy: str = "hybrid",
         router: "Router | str" = "least-loaded",
         engine: Optional[OnlineServingEngine] = None,
@@ -146,19 +222,37 @@ class Cluster:
         replication: int = 1,
         capacity_bytes: float = DEFAULT_NODE_CAPACITY_BYTES,
         max_batch: Optional[int] = None,
+        specs: Optional[Sequence[NodeSpec]] = None,
     ) -> None:
+        if specs is not None:
+            specs = list(specs)
+            if not specs:
+                raise ValueError("specs must name at least one node")
+            if n_nodes is None:
+                n_nodes = len(specs)
+            elif n_nodes != len(specs):
+                raise ValueError(
+                    f"n_nodes={n_nodes} disagrees with {len(specs)} specs"
+                )
+            plan_capacity: "float | List[float]" = [s.memory_bytes for s in specs]
+        else:
+            if n_nodes is None:
+                raise ValueError("need n_nodes or specs")
+            specs = [STEPSTONE_NODE] * n_nodes
+            plan_capacity = capacity_bytes
         if n_nodes <= 0:
             raise ValueError("need at least one node")
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
         self.engine = engine or OnlineServingEngine()
         self.policy = policy
+        self.specs: List[NodeSpec] = specs
         self.router = make_router(router) if isinstance(router, str) else router
         self.placement = placement or ModelPlacement.plan(
             self.engine.models,
             n_nodes=n_nodes,
             replication=replication,
-            capacity_bytes=capacity_bytes,
+            capacity_bytes=plan_capacity,
         )
         self.nodes = [
             ClusterNode(
@@ -167,6 +261,7 @@ class Cluster:
                 policy=policy,
                 models=set(self.placement.models_on(nid)),
                 max_batch=max_batch,
+                spec=specs[nid],
             )
             for nid in range(n_nodes)
         ]
@@ -181,10 +276,17 @@ class Cluster:
             node.in_flight = []
             node.busy_until = 0.0
             node.busy_s = 0.0
-            node.report = ServingReport(policy=self.policy)
+            node.report = ServingReport(policy=node.policy)
 
     def run(self, requests: Iterable[Request]) -> ClusterReport:
-        """Serve an arrival-ordered stream across the fleet."""
+        """Serve an arrival-ordered stream across the fleet.
+
+        Args:
+            requests: Timestamped requests (sorted internally).
+
+        Returns:
+            The fleet-wide :class:`ClusterReport`.
+        """
         self._fresh_nodes()
         self.router.reset()
         arrivals = deque(sorted(requests, key=lambda r: (r.arrival_s, r.req_id)))
@@ -226,6 +328,7 @@ class Cluster:
             sim_end_s=sim_end,
             last_arrival_s=last_arrival,
             node_busy_s=[node.busy_s for node in self.nodes],
+            specs=list(self.specs),
         )
         for rep in report.node_reports:
             rep.sim_end_s = sim_end

@@ -1,4 +1,4 @@
-"""One StepStone node inside a simulated fleet.
+"""One fleet node (StepStone, CPU, or GPU) inside a simulated cluster.
 
 A node is the per-machine half of the fleet simulator: it owns a request
 queue, forms FIFO per-model batches exactly like the single-node
@@ -7,6 +7,12 @@ single-pass SLO admission, and charges batch service time through the
 engine's memoized :meth:`~repro.serving.engine.OnlineServingEngine.batch_latency`.
 Nodes share one engine instance so the latency model is computed once for
 the whole fleet, not once per node.
+
+Heterogeneity enters through the node's :class:`~repro.serving.NodeSpec`:
+the spec picks the hardware latency model (and therefore the *effective*
+dispatch policy — a CPU or GPU node has exactly one way to run a batch),
+while queueing, batching, and SLO admission stay identical across
+backends, so fleets of mixed substrates remain directly comparable.
 """
 
 from __future__ import annotations
@@ -21,12 +27,25 @@ from repro.serving.engine import (
     ServingReport,
     slo_admit,
 )
+from repro.serving.nodespec import STEPSTONE_NODE, NodeSpec
 
 __all__ = ["ClusterNode"]
 
 
 class ClusterNode:
-    """Queue + dispatch state of one node; driven by the fleet simulator."""
+    """Queue + dispatch state of one node; driven by the fleet simulator.
+
+    Args:
+        node_id: Fleet-unique id (also the event tie-break order).
+        engine: The shared latency model / simulator vocabulary.
+        policy: StepStone dispatch policy (``cpu``/``pim``/``hybrid``).
+            Non-StepStone specs override it with their only dispatch —
+            ``self.policy`` holds the *effective* policy.
+        models: Models this node hosts weights for; ``None``/empty means
+            every model (full replication).
+        max_batch: Per-batch request cap; defaults to the engine's.
+        spec: Hardware spec of this node (default: the StepStone node).
+    """
 
     def __init__(
         self,
@@ -35,10 +54,12 @@ class ClusterNode:
         policy: str,
         models: Optional[Set[str]] = None,
         max_batch: Optional[int] = None,
+        spec: NodeSpec = STEPSTONE_NODE,
     ) -> None:
         self.node_id = node_id
         self.engine = engine
-        self.policy = policy
+        self.spec = spec
+        self.policy = spec.effective_policy(policy)
         self.models: Set[str] = set(models) if models else set()
         self.max_batch = max_batch if max_batch is not None else engine.max_batch
         if self.max_batch <= 0:
@@ -48,10 +69,11 @@ class ClusterNode:
         self.busy_until: float = 0.0
         self.busy_s: float = 0.0
         self._dispatch_s: float = 0.0
-        self.report = ServingReport(policy=policy)
+        self.report = ServingReport(policy=self.policy)
 
     @property
     def idle(self) -> bool:
+        """True when no batch is in flight on this node."""
         return not self.in_flight
 
     def backlog(self) -> int:
@@ -59,7 +81,27 @@ class ClusterNode:
         join-shortest-queue load signal."""
         return len(self.queue) + len(self.in_flight)
 
+    def min_latency(self, model: str) -> float:
+        """Batch-1 service seconds for ``model`` on this node's hardware —
+        the feasibility floor routers compare against a request's SLO."""
+        return self.engine.batch_latency(model, self.policy, 1, spec=self.spec)
+
+    def eta_s(self, clock: float) -> float:
+        """Seconds until this node could *start* a new batch at ``clock``
+        (the remaining service time of the in-flight batch, if any)."""
+        if self.in_flight:
+            return max(0.0, self.busy_until - clock)
+        return 0.0
+
     def enqueue(self, request: Request) -> None:
+        """Queue one routed request.
+
+        Args:
+            request: An arrival whose model this node must host.
+
+        Raises:
+            ValueError: If the node does not host the request's model.
+        """
         if self.models and request.model not in self.models:
             raise ValueError(
                 f"node {self.node_id} does not host {request.model!r}"
@@ -73,6 +115,13 @@ class ClusterNode:
         queued request's model, capped at ``max_batch``, shrunk by SLO
         admission.  If admission rejects an entire batch the loop moves on
         to the next head-of-queue model.
+
+        Args:
+            clock: Current simulated time.
+
+        Returns:
+            The batch finish time, or ``None`` when nothing dispatched
+            (busy node or empty/fully-rejected queue).
         """
         while self.idle and self.queue:
             head_model = self.queue[0].model
@@ -82,7 +131,9 @@ class ClusterNode:
             admitted, rejected, service = slo_admit(
                 candidates,
                 clock,
-                lambda size: self.engine.batch_latency(head_model, self.policy, size),
+                lambda size: self.engine.batch_latency(
+                    head_model, self.policy, size, spec=self.spec
+                ),
             )
             for r in rejected:
                 self.report.rejected.append(

@@ -1,26 +1,37 @@
 """Replicated, memory-capacity-aware model-to-node placement.
 
-A StepStone node holds model weights in its PIM-enabled main memory; a
-model can only be served by nodes that host a replica of its weights.
-Placement therefore decides both *feasibility* (weights must fit in each
-node's DRAM) and *load spread* (more replicas mean more nodes can absorb a
-model's traffic).
+A fleet node holds model weights in its serving memory — PIM-enabled DRAM
+on a StepStone socket, plain DRAM on a CPU node, on-card device memory on
+a GPU node — and a model can only be served by nodes that host a replica
+of its weights.  Placement therefore decides both *feasibility* (weights
+must fit in each node's memory budget) and *load spread* (more replicas
+mean more nodes can absorb a model's traffic).
 
 The planner is a deterministic greedy *most-free-first* (worst-fit) pass:
 models are placed largest first, and each replica goes to the node with
-the most free memory that does not already hold one (ties break toward
-the lowest node id) — balancing weight bytes across nodes rather than
-packing them tightly.  The first replica of each model is its *primary* —
-the affinity router's preferred target.
+the largest free memory **fraction** that does not already hold one (ties
+break toward more free bytes, then the lowest node id) — balancing weight
+bytes across nodes rather than packing them tightly.  On a homogeneous
+fleet the fraction ordering coincides with the historical free-bytes
+ordering, so plans are unchanged; on a heterogeneous fleet it stops a
+12 GB GPU node from being loaded like a 128 GB StepStone socket.  The
+first replica of each model is its *primary* — the affinity router's
+preferred target.
+
+For capacity planning over mixed fleets, :meth:`ModelPlacement.saturate`
+instead puts every model on every node it fits (largest models first per
+node), which is the heterogeneous analogue of the homogeneous planner's
+"replicate everywhere" convention.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.models.inference import all_models
 from repro.models.layers import ModelSpec
+from repro.serving.nodespec import NodeSpec
 
 __all__ = ["DEFAULT_NODE_CAPACITY_BYTES", "PlacementError", "ModelPlacement"]
 
@@ -33,15 +44,43 @@ class PlacementError(ValueError):
     """No feasible assignment of model replicas to node memories."""
 
 
+def _per_node_capacities(
+    capacity_bytes: Union[float, Sequence[float]], n_nodes: int
+) -> List[float]:
+    """Normalize a scalar or per-node capacity argument to one per node."""
+    if isinstance(capacity_bytes, (int, float)):
+        caps = [float(capacity_bytes)] * n_nodes
+    else:
+        caps = [float(c) for c in capacity_bytes]
+        if len(caps) != n_nodes:
+            raise PlacementError(
+                f"{len(caps)} capacities for {n_nodes} nodes"
+            )
+    if any(c <= 0 for c in caps):
+        raise PlacementError("node capacities must be positive")
+    return caps
+
+
 @dataclass
 class ModelPlacement:
-    """An assignment of model-weight replicas to node ids."""
+    """An assignment of model-weight replicas to node ids.
+
+    Attributes:
+        replicas: model -> node ids hosting a replica, primary first.
+        used_bytes: node id -> weight bytes placed on it.
+        capacity_bytes: The largest per-node budget the plan was made for
+            (the only budget, on a homogeneous fleet).
+        node_capacity_bytes: Per-node budgets when they differ; empty for
+            homogeneous plans and hand-built placements.
+    """
 
     #: model -> node ids hosting a replica, primary first.
     replicas: Dict[str, List[int]]
     #: node id -> weight bytes placed on it.
     used_bytes: Dict[int, float]
     capacity_bytes: float = DEFAULT_NODE_CAPACITY_BYTES
+    #: node id -> capacity, populated when nodes differ in memory.
+    node_capacity_bytes: Dict[int, float] = field(default_factory=dict)
 
     @classmethod
     def plan(
@@ -49,10 +88,24 @@ class ModelPlacement:
         models: Optional[Mapping[str, ModelSpec]] = None,
         n_nodes: int = 1,
         replication: int = 1,
-        capacity_bytes: float = DEFAULT_NODE_CAPACITY_BYTES,
+        capacity_bytes: Union[float, Sequence[float]] = DEFAULT_NODE_CAPACITY_BYTES,
     ) -> "ModelPlacement":
         """Greedy most-free-first placement of ``replication`` copies per
-        model (worst-fit: balances bytes across nodes)."""
+        model (worst-fit: balances weight bytes across nodes).
+
+        Args:
+            models: Model specs to place; ``None`` places the full zoo.
+            n_nodes: Fleet size.
+            replication: Copies of each model's weights (``<= n_nodes``).
+            capacity_bytes: One shared budget, or one budget per node for
+                heterogeneous fleets.
+
+        Returns:
+            A deterministic :class:`ModelPlacement`.
+
+        Raises:
+            PlacementError: If any replica cannot fit anywhere.
+        """
         if n_nodes <= 0:
             raise PlacementError("need at least one node")
         if replication <= 0:
@@ -61,8 +114,9 @@ class ModelPlacement:
             raise PlacementError(
                 f"replication {replication} exceeds node count {n_nodes}"
             )
+        caps = _per_node_capacities(capacity_bytes, n_nodes)
         specs = dict(models) if models is not None else all_models()
-        free = {nid: float(capacity_bytes) for nid in range(n_nodes)}
+        free = {nid: caps[nid] for nid in range(n_nodes)}
         replicas: Dict[str, List[int]] = {}
         # Largest models first so the tight placements happen while nodes
         # are still empty; name tie-break keeps the plan deterministic.
@@ -80,19 +134,109 @@ class ModelPlacement:
                     raise PlacementError(
                         f"cannot place replica of {name!r} "
                         f"({need / 1e9:.1f} GB) on {n_nodes} nodes of "
-                        f"{capacity_bytes / 1e9:.1f} GB"
+                        f"{min(caps) / 1e9:.1f}-{max(caps) / 1e9:.1f} GB"
                     )
-                target = max(fits, key=lambda nid: (free[nid], -nid))
+                target = max(
+                    fits, key=lambda nid: (free[nid] / caps[nid], free[nid], -nid)
+                )
                 free[target] -= need
                 homes.append(target)
             replicas[name] = homes
-        used = {
-            nid: float(capacity_bytes) - cap for nid, cap in free.items()
-        }
-        return cls(replicas=replicas, used_bytes=used, capacity_bytes=capacity_bytes)
+        used = {nid: caps[nid] - cap for nid, cap in free.items()}
+        hetero = {nid: caps[nid] for nid in range(n_nodes)} if len(set(caps)) > 1 else {}
+        return cls(
+            replicas=replicas,
+            used_bytes=used,
+            capacity_bytes=max(caps),
+            node_capacity_bytes=hetero,
+        )
+
+    @classmethod
+    def plan_for_specs(
+        cls,
+        models: Optional[Mapping[str, ModelSpec]] = None,
+        specs: Sequence[NodeSpec] = (),
+        replication: int = 1,
+    ) -> "ModelPlacement":
+        """:meth:`plan` with each node's budget read off its
+        :class:`~repro.serving.NodeSpec` (``memory_bytes``)."""
+        if not specs:
+            raise PlacementError("need at least one node spec")
+        return cls.plan(
+            models,
+            n_nodes=len(specs),
+            replication=replication,
+            capacity_bytes=[s.memory_bytes for s in specs],
+        )
+
+    @classmethod
+    def saturate(
+        cls,
+        models: Optional[Mapping[str, ModelSpec]] = None,
+        specs: Sequence[NodeSpec] = (),
+    ) -> "ModelPlacement":
+        """Put every model on every node whose memory can take it.
+
+        The heterogeneous analogue of the capacity planner's "replicate
+        everywhere" convention: each node hosts as many of the served
+        models as fit together in its budget, largest models first — so a
+        small GPU node naturally skips datacenter-scale weights while
+        still absorbing the models it *can* serve.
+
+        Args:
+            models: Model specs to place; ``None`` places the full zoo.
+            specs: One :class:`~repro.serving.NodeSpec` per node.
+
+        Returns:
+            A :class:`ModelPlacement` where ``replicas[m]`` lists every
+            node hosting ``m`` (ascending node id).
+
+        Raises:
+            PlacementError: If some model fits on no node at all.
+        """
+        if not specs:
+            raise PlacementError("need at least one node spec")
+        model_specs = dict(models) if models is not None else all_models()
+        order = sorted(
+            model_specs,
+            key=lambda m: (-model_specs[m].total_weight_bytes, m),
+        )
+        replicas: Dict[str, List[int]] = {name: [] for name in model_specs}
+        used: Dict[int, float] = {}
+        for nid, spec in enumerate(specs):
+            free = float(spec.memory_bytes)
+            placed = 0.0
+            for name in order:
+                need = model_specs[name].total_weight_bytes
+                if need <= free:
+                    free -= need
+                    placed += need
+                    replicas[name].append(nid)
+            used[nid] = placed
+        unhosted = sorted(m for m, homes in replicas.items() if not homes)
+        if unhosted:
+            raise PlacementError(
+                f"no node can host {unhosted} within its memory budget"
+            )
+        caps = [float(s.memory_bytes) for s in specs]
+        hetero = (
+            {nid: caps[nid] for nid in range(len(specs))}
+            if len(set(caps)) > 1
+            else {}
+        )
+        return cls(
+            replicas=replicas,
+            used_bytes=used,
+            capacity_bytes=max(caps),
+            node_capacity_bytes=hetero,
+        )
 
     def nodes_for(self, model: str) -> List[int]:
-        """Replica node ids for ``model``, primary first."""
+        """Replica node ids for ``model``, primary first.
+
+        Raises:
+            KeyError: If the model has no placed replica.
+        """
         try:
             return self.replicas[model]
         except KeyError as exc:
@@ -102,5 +246,5 @@ class ModelPlacement:
             ) from exc
 
     def models_on(self, node_id: int) -> List[str]:
-        """Models whose weights live on ``node_id``."""
+        """Models whose weights live on ``node_id`` (sorted by name)."""
         return sorted(m for m, homes in self.replicas.items() if node_id in homes)

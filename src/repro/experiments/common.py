@@ -82,6 +82,7 @@ class ExperimentResult:
         if not self.chart:
             return "(no chart declared for this experiment)"
         from repro.reporting import (
+            cost_bars,
             grouped_bars,
             line_plot,
             scaling_plot,
@@ -103,4 +104,6 @@ class ExperimentResult:
             return scaling_plot(rows, **spec)
         if kind == "timeline":
             return timeline_plot(rows, **spec)
+        if kind == "cost":
+            return cost_bars(rows, **spec)
         raise ValueError(f"unknown chart kind {kind!r}")

@@ -21,6 +21,7 @@ from repro.experiments import (
     fig14_energy,
     serve_autoscale,
     serve_cluster,
+    serve_hetero,
     serve_online,
 )
 
@@ -43,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "serve": serve_online.run,
     "serve-cluster": serve_cluster.run,
     "serve-autoscale": serve_autoscale.run,
+    "serve-hetero": serve_hetero.run,
 }
 
 

@@ -1,0 +1,305 @@
+"""Heterogeneous fleets: mixed CPU/GPU/StepStone serving economics.
+
+The paper's headline figures are *cross-substrate* comparisons — StepStone
+PIM vs. CPU vs. GPU at small batch (Figs. 1, 6, 8) — and its cost argument
+is a datacenter one.  This experiment lifts that comparison to fleet
+scale, a Fig. 8 analogue over whole clusters:
+
+* **Substrate** — per-backend batch service times for BERT (the Fig. 8
+  shape at the node level): StepStone wins small batches, the GPU wins
+  once batching amortizes its staging and occupancy overheads.
+* **Anchor** — a fleet of all-StepStone :class:`~repro.serving.NodeSpec`
+  nodes reproduces the homogeneous :class:`~repro.cluster.Cluster`
+  request for request — heterogeneity is additive, not a new simulator.
+* **Planning** — :class:`~repro.cluster.HeteroCapacityPlanner` sizes the
+  cheapest fleet (in $/hr) for three traffic regimes at equal p99 SLOs:
+  a tight-latency interactive regime (StepStone-only wins — the paper's
+  small-batch case), a bulk mid-rate regime (GPU-only wins), and a
+  just-past-one-GPU peak regime where the *mixed* fleet strictly beats
+  both homogeneous options.  J/request rides along via the specs' power
+  models.
+* **Elastic** — :class:`~repro.autoscale.HeteroElasticCluster` under a
+  diurnal swing: a fixed StepStone baseline plus a demand-sized GPU
+  burst pool (:class:`~repro.autoscale.BaselineBurstPolicy`) holds the
+  SLO while paying less per hour than the peak-sized static mix, renting
+  the GPU only around the peak.
+
+Everything is seeded and simulated: same seed, same report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.autoscale import (
+    BaselineBurstPolicy,
+    HeteroElasticCluster,
+    NodePool,
+    StaticMixPolicy,
+)
+from repro.autoscale.policies import node_capacity_rps
+from repro.autoscale.traces import DiurnalTrace, mix_requests
+from repro.cluster import Cluster, HeteroCapacityPlanner, ModelPlacement
+from repro.experiments.common import ExperimentResult
+from repro.serving import (
+    CPU_NODE,
+    GPU_NODE,
+    STEPSTONE_NODE,
+    OnlineServingEngine,
+    merge_streams,
+    poisson_requests,
+)
+
+__all__ = ["run", "REGIMES", "MIX", "hetero_planner"]
+
+SEED = 42
+#: Traffic mix of every fleet question in this experiment.
+MIX = {"BERT": 0.9, "DLRM": 0.1}
+#: (name, offered req/s, p99 SLO seconds) — the three regimes of the
+#: planning section.  Tight-SLO interactive favors StepStone's batch-1
+#: latency, bulk favors the GPU's amortized throughput, and the peak sits
+#: just past one GPU's capacity, where topping up with cheap nodes beats
+#: buying a second GPU.
+REGIMES = (
+    ("interactive", 120.0, 0.15),
+    ("bulk", 1000.0, 1.0),
+    ("peak", 1700.0, 1.0),
+)
+CATALOG = (STEPSTONE_NODE, CPU_NODE, GPU_NODE)
+
+
+def hetero_planner(
+    engine: OnlineServingEngine, fast: bool = False
+) -> HeteroCapacityPlanner:
+    """The canonical mixed-fleet planner (shared with tests/benchmarks)."""
+    # window_slos stays at 4 even in fast mode: the peak regime's
+    # feasibility frontier (one GPU is ~27% overloaded) only shows up
+    # once the probe window is a few SLOs long.
+    return HeteroCapacityPlanner(
+        MIX,
+        catalog=CATALOG,
+        engine=engine,
+        n_requests=200 if fast else 300,
+        window_slos=4.0,
+        seed=SEED,
+    )
+
+
+def _anchor_stream(duration_s: float) -> List:
+    """Seeded BERT+DLRM stream for the equivalence anchor."""
+    return merge_streams(
+        poisson_requests("BERT", 300.0, duration_s, seed=SEED, slo_s=1.0),
+        poisson_requests(
+            "DLRM", 40.0, duration_s, seed=SEED + 1, slo_s=0.5, start_id=1_000_000
+        ),
+    )
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    res = ExperimentResult(
+        experiment_id="serve-hetero",
+        title="Heterogeneous fleets: mixed CPU/GPU/StepStone cost planning",
+        paper_reference="Figs. 1/6/8 cross-substrate comparison, at fleet scale",
+    )
+    engine = OnlineServingEngine()
+
+    # ---- Substrate: per-backend batch latency (Fig. 8 shape) ---------- #
+    lat: Dict[str, Dict[int, float]] = {}
+    batches = (1, 8, 64)
+    for spec in CATALOG:
+        lat[spec.name] = {
+            b: engine.batch_latency("BERT", "hybrid", b, spec=spec)
+            for b in batches
+        }
+        res.add(
+            section="substrate",
+            backend=spec.name,
+            **{f"b{b}_ms": lat[spec.name][b] * 1e3 for b in batches},
+            hourly_cost=spec.hourly_cost,
+        )
+    res.check(
+        "StepStone serves batch 1 faster than CPU and GPU (small-batch win)",
+        lat["stepstone"][1] < lat["cpu"][1] and lat["stepstone"][1] < lat["gpu"][1],
+    )
+    res.check(
+        "GPU serves batch 64 fastest (large-batch amortization)",
+        lat["gpu"][64] < lat["stepstone"][64] and lat["gpu"][64] < lat["cpu"][64],
+    )
+
+    # ---- Anchor: all-StepStone NodeSpec fleet == homogeneous fleet ---- #
+    placement = ModelPlacement(
+        replicas={"BERT": [0, 1, 2], "DLRM": [0, 1, 2]}, used_bytes={}
+    )
+    stream = _anchor_stream(0.8 if fast else 1.5)
+    legacy = Cluster(3, engine=engine, placement=placement).run(stream)
+    spec_fleet = Cluster(
+        engine=engine, placement=placement, specs=[STEPSTONE_NODE] * 3
+    ).run(stream)
+    anchor_ok = (
+        [(c.request.req_id, c.dispatch_s, c.finish_s, c.batch) for c in legacy.completed]
+        == [
+            (c.request.req_id, c.dispatch_s, c.finish_s, c.batch)
+            for c in spec_fleet.completed
+        ]
+        and [r.request.req_id for r in legacy.rejected]
+        == [r.request.req_id for r in spec_fleet.rejected]
+    )
+    res.check(
+        "anchor: stepstone-only NodeSpec fleet == Cluster, request for request",
+        anchor_ok,
+    )
+    res.add(
+        section="anchor",
+        case="3x stepstone specs vs legacy",
+        served=spec_fleet.served,
+        rejected=len(spec_fleet.rejected),
+        p99_ms=spec_fleet.p99_s * 1e3,
+        hourly_cost=spec_fleet.hourly_cost,
+    )
+
+    # ---- Planning: cheapest fleet per traffic regime ------------------ #
+    planner = hetero_planner(engine, fast=fast)
+    cost_rows: List[Dict[str, object]] = []
+    plans = {}
+    for name, rate, slo_s in REGIMES:
+        plan = planner.min_cost_fleet(
+            "hybrid", target_rps=rate, p99_slo_s=slo_s, max_nodes_per_type=16
+        )
+        plans[name] = plan
+        homo = {n: plan.homogeneous_cost(n) for n in plan.specs}
+        res.add(
+            section="plan",
+            regime=name,
+            rate_rps=rate,
+            slo_ms=slo_s * 1e3,
+            fleet=" + ".join(f"{c}x{n}" for n, c in sorted(plan.counts.items())),
+            mix_cost=plan.hourly_cost,
+            stepstone_cost=homo["stepstone"],
+            cpu_cost=homo["cpu"],
+            gpu_cost=homo["gpu"],
+            p99_ms=plan.report.p99_s * 1e3,
+            j_per_req=plan.joules_per_request,
+        )
+        cost_rows.append(
+            {
+                "regime": f"{name} ({rate:.0f} req/s, {slo_s * 1e3:.0f} ms p99)",
+                "stepstone-only": homo["stepstone"]
+                if math.isfinite(homo["stepstone"])
+                else math.nan,
+                "cpu-only": homo["cpu"] if math.isfinite(homo["cpu"]) else math.nan,
+                "gpu-only": homo["gpu"] if math.isfinite(homo["gpu"]) else math.nan,
+                "optimal mix": plan.hourly_cost,
+            }
+        )
+    res.check(
+        "planner: the optimal fleet never costs more than any homogeneous "
+        "fleet (all regimes)",
+        all(
+            plans[name].hourly_cost
+            <= min(plans[name].homogeneous_cost(n) for n in plans[name].specs) + 1e-9
+            for name, _, _ in REGIMES
+        ),
+    )
+    res.check(
+        "interactive regime: StepStone-only is the cheapest fleet "
+        "(the paper's small-batch, tight-SLO case)",
+        set(plans["interactive"].counts) == {"stepstone"},
+    )
+    res.check(
+        "bulk regime: GPU-only is the cheapest fleet (batching amortizes)",
+        set(plans["bulk"].counts) == {"gpu"},
+    )
+    peak = plans["peak"]
+    res.check(
+        "peak regime: the mixed fleet strictly beats BOTH homogeneous "
+        "fleets in $/hr at the same p99 SLO",
+        len(peak.counts) >= 2
+        and peak.hourly_cost < peak.homogeneous_cost("stepstone") - 1e-9
+        and peak.hourly_cost < peak.homogeneous_cost("gpu") - 1e-9,
+    )
+    res.note(
+        "peak mix "
+        + " + ".join(f"{c}x{n}" for n, c in sorted(peak.counts.items()))
+        + f" at ${peak.hourly_cost:.2f}/hr vs stepstone-only "
+        f"${peak.homogeneous_cost('stepstone'):.2f}/hr and gpu-only "
+        f"${peak.homogeneous_cost('gpu'):.2f}/hr"
+    )
+
+    # Determinism: re-simulating the winning composition reproduces it.
+    ok2, again = planner.sustains_fleet(
+        peak.counts, "hybrid", peak.target_rps, peak.p99_slo_s
+    )
+    res.check(
+        "deterministic: re-simulating the peak mix reproduces its report",
+        ok2 and again.p99_s == peak.report.p99_s and again.served == peak.report.served,
+    )
+
+    # ---- Elastic: StepStone baseline + GPU burst on a diurnal swing --- #
+    period = 8.0 if fast else 12.0
+    trace = DiurnalTrace(trough_rps=150.0, peak_rps=1400.0, period_s=period)
+    slo_s = 1.0
+    reqs = mix_requests(
+        trace, MIX, duration_s=period, seed=SEED, slos={m: slo_s for m in MIX}
+    )
+    cap_ss = node_capacity_rps(engine, MIX, "hybrid", spec=STEPSTONE_NODE)
+    cap_gpu = node_capacity_rps(engine, MIX, "hybrid", spec=GPU_NODE)
+    pools = {
+        "stepstone": NodePool(
+            spec=STEPSTONE_NODE, min_nodes=1, max_nodes=4, initial_nodes=2
+        ),
+        "gpu": NodePool(spec=GPU_NODE, min_nodes=0, max_nodes=3, initial_nodes=0),
+    }
+    cluster = HeteroElasticCluster(
+        pools, engine=engine, models=list(MIX), control_interval_s=0.5
+    )
+    elastic = cluster.run(
+        reqs,
+        BaselineBurstPolicy(
+            "stepstone",
+            "gpu",
+            baseline_nodes=2,
+            baseline_capacity_rps=cap_ss,
+            burst_capacity_rps=cap_gpu,
+            target=0.85,
+        ),
+    )
+    static = cluster.run(reqs, StaticMixPolicy({"stepstone": 2, "gpu": 1}))
+    for name, rep in (("baseline+burst", elastic), ("static peak mix", static)):
+        res.add(
+            section="elastic",
+            case=name,
+            served=rep.served,
+            shed=rep.shed_fraction,
+            p99_ms=rep.p99_s * 1e3,
+            violations=rep.violation_fraction(slo_s),
+            mean_cost_per_hr=rep.mean_hourly_cost,
+            energy_kj=rep.energy_j() / 1e3,
+        )
+    res.check(
+        "elastic baseline+burst pays less per hour than the static peak mix",
+        elastic.mean_hourly_cost < static.mean_hourly_cost - 1e-9,
+    )
+    res.check(
+        "elastic baseline+burst holds the SLO (no violated windows, <1% shed)",
+        elastic.violation_fraction(slo_s) == 0.0 and elastic.shed_fraction < 0.01,
+    )
+    gpu_counts = [row["gpu_nodes"] for row in elastic.pool_timeline]
+    res.check(
+        "the GPU pool is rented only around the peak (scales to zero and back)",
+        min(gpu_counts) == 0 and max(gpu_counts) >= 1,
+    )
+    res.note(
+        f"diurnal {trace.trough_rps:.0f}->{trace.peak_rps:.0f} req/s: "
+        f"baseline+burst ${elastic.mean_hourly_cost:.2f}/hr vs static mix "
+        f"${static.mean_hourly_cost:.2f}/hr; gpu node-seconds "
+        f"{elastic.node_seconds_by_pool()['gpu']:.1f} of {elastic.sim_end_s:.1f}"
+    )
+
+    res.chart = {
+        "kind": "cost",
+        "rows": cost_rows,
+        "category_key": "regime",
+        "series_keys": ["stepstone-only", "cpu-only", "gpu-only", "optimal mix"],
+    }
+    return res

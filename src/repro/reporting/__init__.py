@@ -1,6 +1,7 @@
 """Terminal rendering of experiment results as figure-shaped charts."""
 
 from repro.reporting.charts import (
+    cost_bars,
     grouped_bars,
     line_plot,
     scaling_plot,
@@ -9,6 +10,7 @@ from repro.reporting.charts import (
 )
 
 __all__ = [
+    "cost_bars",
     "grouped_bars",
     "line_plot",
     "scaling_plot",

@@ -11,7 +11,14 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["stacked_bars", "grouped_bars", "line_plot", "scaling_plot", "timeline_plot"]
+__all__ = [
+    "stacked_bars",
+    "grouped_bars",
+    "line_plot",
+    "scaling_plot",
+    "timeline_plot",
+    "cost_bars",
+]
 
 _GLYPHS = "#=+*o%@&"
 
@@ -176,6 +183,50 @@ def scaling_plot(
         )
         table.append(f"{str(r.get(x_key, '')):>8} {cells}")
     return grid + "\n" + "\n".join(table)
+
+
+def cost_bars(
+    rows: Sequence[Dict[str, Any]],
+    category_key: str,
+    series_keys: Sequence[str],
+    width: int = 46,
+    title: str = "",
+    unit: str = "$/hr",
+) -> str:
+    """Grouped cost bars: one block per row, one bar per series.
+
+    The fleet-economics shape of the ``serve-hetero`` experiment: each
+    traffic regime is a block, each fleet option (homogeneous StepStone,
+    homogeneous GPU, cost-optimal mix) a labelled bar, so the cheapest
+    option per regime is readable at a glance.  Missing/NaN series (an
+    infeasible fleet) render as ``infeasible``.
+    """
+    if not rows:
+        return "(no data)"
+    vals: List[float] = []
+    for r in rows:
+        for k in series_keys:
+            v = r.get(k)
+            if v is not None and float(v) == float(v):
+                vals.append(float(v))
+    peak = max(vals) if vals else 1.0
+    label_w = max(len(k) for k in series_keys)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r in rows:
+        lines.append(f"{r.get(category_key, '')}:")
+        for k in series_keys:
+            v = r.get(k)
+            label = f"  {k.ljust(label_w)}"
+            if v is None or float(v) != float(v):
+                lines.append(f"{label} |{' ' * width}| infeasible")
+                continue
+            cells = int(round(float(v) / peak * width)) if peak else 0
+            lines.append(
+                f"{label} |{('#' * cells).ljust(width)}| {float(v):.2f} {unit}"
+            )
+    return "\n".join(lines)
 
 
 def timeline_plot(

@@ -1,6 +1,15 @@
 """Query serving on a StepStone system: batch splitting, hybrid dispatch,
-and request-level online serving on a simulated clock."""
+request-level online serving on a simulated clock, and the hardware node
+specs (`NodeSpec`) heterogeneous fleets are built from."""
 
+from repro.serving.nodespec import (
+    BACKENDS,
+    CPU_NODE,
+    DEFAULT_CATALOG,
+    GPU_NODE,
+    STEPSTONE_NODE,
+    NodeSpec,
+)
 from repro.serving.engine import (
     POLICIES,
     CompletedRequest,
@@ -26,6 +35,12 @@ __all__ = [
     "HybridSplit",
     "ServingPoint",
     "POLICIES",
+    "BACKENDS",
+    "NodeSpec",
+    "STEPSTONE_NODE",
+    "CPU_NODE",
+    "GPU_NODE",
+    "DEFAULT_CATALOG",
     "Request",
     "CompletedRequest",
     "RejectedRequest",

@@ -35,8 +35,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.baselines.gpu import GpuGemmModel
+from repro.core.gemm import GemmShape
 from repro.models.inference import all_models
 from repro.models.layers import ModelSpec, pow2_partition
+from repro.serving.nodespec import NodeSpec
 from repro.serving.scheduler import BatchServer
 
 __all__ = [
@@ -343,53 +346,176 @@ class OnlineServingEngine:
         self.server = server or BatchServer()
         self.models = dict(models) if models is not None else all_models()
         self.max_batch = max_batch
-        self._latency_cache: Dict[Tuple[str, str, int], float] = {}
+        # Memoized batch service times.  The key includes the node spec's
+        # hardware identity (`NodeSpec.latency_key`), not just
+        # (model, policy, batch): two node specs with different hardware
+        # must never share cached latencies, while any number of StepStone
+        # specs share this engine's one BatchServer and therefore one cache
+        # line per (model, policy, batch).
+        self._latency_cache: Dict[Tuple[str, str, int, Tuple], float] = {}
 
     # ------------------------------------------------------------------ #
     # Batch service-time model
     # ------------------------------------------------------------------ #
 
-    def batch_latency(self, model: str, policy: str, batch: int) -> float:
+    def batch_latency(
+        self,
+        model: str,
+        policy: str,
+        batch: int,
+        spec: Optional[NodeSpec] = None,
+    ) -> float:
         """Service seconds for one batch of ``batch`` requests of ``model``.
 
         Per-GEMM latencies compose across the model's invocations, tiled to
         powers of two like the Fig. 8 engine; the activation dimension scales
         with the request batch.  CPU-resident ops (attention, softmax, ...)
-        always run on the CPU and are charged to every policy.
+        always run on the host and are charged to every backend.
+
+        Args:
+            model: A model name known to this engine.
+            policy: StepStone dispatch policy (one of :data:`POLICIES`).
+                Non-StepStone specs admit exactly one dispatch, so the
+                backend name itself is also accepted there.
+            batch: Number of requests in the batch (positive).
+            spec: Hardware the batch runs on; ``None`` means the default
+                StepStone node backed by this engine's ``BatchServer``.
+                GPU specs charge the device-resident Titan-Xp-class
+                roofline (note: *not* monotone in ``batch`` at tiny sizes,
+                where occupancy dominates); CPU specs charge the
+                calibrated Xeon model.
+
+        Returns:
+            Seconds to serve the batch on that hardware.
         """
-        if policy not in POLICIES:
-            raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        backend = spec.backend if spec is not None else "stepstone"
+        if backend == "stepstone":
+            if policy not in POLICIES:
+                raise ValueError(
+                    f"unknown policy {policy!r}; choose from {POLICIES}"
+                )
+            eff_policy = policy
+        else:
+            if policy not in POLICIES and policy != backend:
+                raise ValueError(
+                    f"unknown policy {policy!r}; choose from "
+                    f"{POLICIES + (backend,)}"
+                )
+            eff_policy = backend
         if batch <= 0:
             raise ValueError("batch must be positive")
-        key = (model, policy, batch)
+        key = (
+            model,
+            eff_policy,
+            batch,
+            spec.latency_key if spec is not None else ("stepstone",),
+        )
         hit = self._latency_cache.get(key)
         if hit is not None:
             return hit
         try:
-            spec = self.models[model]
+            mspec = self.models[model]
         except KeyError as exc:
             raise KeyError(
                 f"unknown model {model!r}; available: {sorted(self.models)}"
             ) from exc
         srv = self.server
+        gpu_model: Optional[GpuGemmModel] = None
+        if backend == "gpu":
+            gpu_model = GpuGemmModel(spec.gpu) if spec.gpu is not None else GpuGemmModel()
+        cpu_model = None
+        if backend == "cpu" and spec is not None and spec.cpu is not None:
+            from repro.baselines.cpu import CpuGemmModel
+
+            cpu_model = CpuGemmModel(spec.cpu)
         total = 0.0
-        for inv in spec.gemms:
-            n = max(1, (inv.shape.n * batch) // spec.batch_size)
+        for inv in mspec.gemms:
+            n = max(1, (inv.shape.n * batch) // mspec.batch_size)
             for tile in pow2_partition(inv.shape):
-                if policy == "cpu":
+                if gpu_model is not None:
+                    t = gpu_model.gemm_seconds(GemmShape(tile.m, tile.k, n))
+                elif cpu_model is not None:
+                    t = cpu_model.gemm_seconds(GemmShape(tile.m, tile.k, n))
+                elif eff_policy == "cpu":
                     t = srv.cpu_latency(tile.m, tile.k, n)
-                elif policy == "pim":
+                elif eff_policy == "pim":
                     t = srv.pim_latency(tile.m, tile.k, n)
                 else:
                     t = srv.hybrid_split(tile.m, tile.k, n).latency_s
                 total += t * inv.count
-        total += spec.cpu_other_seconds(srv.cpu.config) * batch / spec.batch_size
+        # Host-resident ops run on the node's own CPU when the spec
+        # overrides it; otherwise on the engine's shared CPU model.
+        host_cfg = cpu_model.config if cpu_model is not None else srv.cpu.config
+        total += mspec.cpu_other_seconds(host_cfg) * batch / mspec.batch_size
         self._latency_cache[key] = total
         return total
 
-    def min_latency(self, model: str, policy: str) -> float:
-        """Best-case (batch-1, zero-queue) latency — the SLO feasibility floor."""
-        return self.batch_latency(model, policy, 1)
+    def mix_capacity_rps(
+        self,
+        mix: Dict[str, float],
+        policy: str,
+        batch: Optional[int] = None,
+        spec: Optional[NodeSpec] = None,
+    ) -> float:
+        """Optimistic steady-state req/s one node sustains on a traffic mix.
+
+        Full-batch service of the share-weighted mix (harmonic mean over
+        per-request service time).  With a ``spec``, mix models that do
+        not fit the node's memory are excluded — the node will never host
+        them — so the estimate covers only the traffic share the node can
+        absorb.  This is the single capacity formula shared by the
+        heterogeneous capacity planner's pruning bound and the autoscale
+        policies' demand sizing.
+
+        Args:
+            mix: Model name -> traffic share (normalized internally).
+            policy: StepStone dispatch policy (``cpu``/``pim``/``hybrid``).
+            batch: Batch size the estimate assumes; defaults to
+                ``max_batch``.
+            spec: Node hardware; ``None`` means the default StepStone node.
+
+        Returns:
+            Requests per second at steady state; ``0.0`` when no mix
+            model fits the spec's memory.
+
+        Raises:
+            ValueError: If the shares do not sum positive.
+        """
+        total = float(sum(mix.values()))
+        if total <= 0:
+            raise ValueError("traffic mix shares must sum > 0")
+        b = batch if batch is not None else self.max_batch
+        per_req_s = 0.0
+        served_share = 0.0
+        for model, share in mix.items():
+            if share <= 0:
+                continue
+            if spec is not None and not spec.fits(
+                self.models[model].total_weight_bytes
+            ):
+                continue
+            served_share += share / total
+            per_req_s += (
+                (share / total) * self.batch_latency(model, policy, b, spec=spec) / b
+            )
+        if served_share <= 0 or per_req_s <= 0:
+            return 0.0
+        # Requests the node can serve arrive at served_share of the total
+        # rate and cost per_req_s / served_share each once renormalized to
+        # the hosted sub-mix, so its request capacity is
+        # served_share / per_req_s.
+        return served_share / per_req_s
+
+    def min_latency(
+        self, model: str, policy: str, spec: Optional[NodeSpec] = None
+    ) -> float:
+        """Best-case (batch-1, zero-queue) latency — the SLO feasibility floor.
+
+        On GPU specs batch 1 is a *conservative* floor, not the true
+        minimum: occupancy roll-off makes tiny batches slower per batch
+        than slightly larger ones.
+        """
+        return self.batch_latency(model, policy, 1, spec=spec)
 
     # ------------------------------------------------------------------ #
     # Simulation loop

@@ -1,7 +1,9 @@
 """Repository hygiene: doctests, console entry point, docs cross-refs."""
 
 import doctest
+import inspect
 import pathlib
+import re
 import subprocess
 import sys
 
@@ -79,6 +81,45 @@ class TestDocs:
                 name = line.split("`")[1]
                 assert (ROOT / "examples" / name).exists(), name
 
+    def test_readme_fleet_quickstart_snippet(self):
+        """The "choosing a fleet" quickstart exists, is a bash block, and
+        points at a registered experiment (CI executes it verbatim)."""
+        from repro.experiments.registry import EXPERIMENTS
+
+        readme = (ROOT / "README.md").read_text()
+        m = re.search(r"## Choosing a fleet.*?```bash\n(.*?)```", readme, re.S)
+        assert m, "README is missing the 'Choosing a fleet' quickstart"
+        snippet = m.group(1)
+        assert "serve-hetero" in snippet
+        assert "serve-hetero" in EXPERIMENTS
+
+    def test_cluster_autoscale_public_docstrings(self):
+        """Every public ``__all__`` member of the fleet packages — and
+        every public method/property it defines — documents itself (the
+        docstring-audit gate for `repro.cluster` and `repro.autoscale`)."""
+        import repro.autoscale
+        import repro.cluster
+
+        missing = []
+        for pkg in (repro.cluster, repro.autoscale):
+            for name in pkg.__all__:
+                obj = getattr(pkg, name)
+                if not (isinstance(obj, type) or callable(obj)):
+                    continue  # plain constants (tuples, strings)
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{pkg.__name__}.{name}")
+                if not isinstance(obj, type):
+                    continue
+                for attr, member in vars(obj).items():
+                    if attr.startswith("_"):
+                        continue
+                    if isinstance(member, (staticmethod, classmethod)):
+                        member = member.__func__
+                    if inspect.isfunction(member) or isinstance(member, property):
+                        if not (member.__doc__ or "").strip():
+                            missing.append(f"{pkg.__name__}.{name}.{attr}")
+        assert not missing, f"undocumented public API: {sorted(set(missing))}"
+
     def test_every_public_module_has_docstring(self):
         import importlib
 
@@ -99,6 +140,9 @@ class TestDocs:
             "repro.colocation.contention",
             "repro.osmem.allocator",
             "repro.serving.scheduler",
+            "repro.serving.nodespec",
+            "repro.cluster.planner",
+            "repro.autoscale.hetero",
             "repro.reporting.charts",
         ):
             m = importlib.import_module(mod)

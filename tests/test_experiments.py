@@ -28,6 +28,7 @@ class TestRegistry:
             "serve",
             "serve-cluster",
             "serve-autoscale",
+            "serve-hetero",
         }
 
     def test_unknown_id_raises(self):

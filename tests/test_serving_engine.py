@@ -96,7 +96,9 @@ class TestBatchLatency:
 
     def test_latency_cache_hit(self, eng):
         t1 = eng.batch_latency("BERT", "pim", 5)
-        assert ("BERT", "pim", 5) in eng._latency_cache
+        # the cache key carries the node-spec hardware identity; the
+        # spec-less call is the default StepStone node
+        assert ("BERT", "pim", 5, ("stepstone",)) in eng._latency_cache
         assert eng.batch_latency("BERT", "pim", 5) == t1
 
 
