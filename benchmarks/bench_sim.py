@@ -1,0 +1,120 @@
+"""Simulation-kernel harness: event throughput of the shared substrate.
+
+The `repro.sim` refactor rebuilt all four serving loops (engine, static
+fleet, elastic, hetero) on one discrete-event kernel; this module guards
+the cost of that move.  ``hetero_100k`` drives the heaviest loop — a
+100k-request heterogeneous elastic run (StepStone baseline + GPU burst
+under a diurnal swing) — and records kernel events/sec and requests/sec;
+``kernel_micro`` measures the bare kernel (preloaded stream + a finish
+scheduled per arrival) with no serving logic on top.  ``serve-chaos``
+regenerates the failure-injection experiment the kernel made possible.
+The recorded metrics land in ``BENCH_sim.json``; the hetero requests/sec
+next to the pre-refactor loop's number is the cost of the abstraction
+(it must not be slower).
+"""
+
+from repro.autoscale import (
+    BaselineBurstPolicy,
+    DiurnalTrace,
+    HeteroElasticCluster,
+    NodePool,
+    mix_requests,
+)
+from repro.autoscale.policies import node_capacity_rps
+from repro.serving import GPU_NODE, STEPSTONE_NODE, OnlineServingEngine
+from repro.sim import DiscreteEventKernel, Event, EventKind
+
+MIX = {"BERT": 0.9, "DLRM": 0.1}
+
+
+def hetero_100k_scenario():
+    """The 100k-request hetero run: cluster, policy, and stream."""
+    engine = OnlineServingEngine()
+    cluster = HeteroElasticCluster(
+        pools={
+            "stepstone": NodePool(
+                STEPSTONE_NODE, min_nodes=2, max_nodes=12, initial_nodes=8
+            ),
+            "gpu": NodePool(GPU_NODE, min_nodes=0, max_nodes=4, initial_nodes=0),
+        },
+        engine=engine,
+        policy="hybrid",
+        router="backend-affinity",
+        models=sorted(MIX),
+        control_interval_s=0.5,
+    )
+    policy = BaselineBurstPolicy(
+        baseline="stepstone",
+        burst="gpu",
+        baseline_nodes=8,
+        baseline_capacity_rps=node_capacity_rps(
+            engine, MIX, "hybrid", spec=STEPSTONE_NODE
+        ),
+        burst_capacity_rps=node_capacity_rps(engine, MIX, "hybrid", spec=GPU_NODE),
+    )
+    stream = mix_requests(
+        DiurnalTrace(trough_rps=1200.0, peak_rps=2800.0, period_s=25.0),
+        MIX,
+        50.0,
+        seed=42,
+        slos={m: 1.0 for m in MIX},
+    )
+    return cluster, policy, stream
+
+
+def test_serve_chaos_experiment(run_bench):
+    run_bench("serve-chaos")
+
+
+def test_hetero_100k_events_per_sec(benchmark, perf_record):
+    """The heaviest loop at 100k requests: the abstraction-cost gate."""
+    cluster, policy, stream = hetero_100k_scenario()
+    # Warm the engine's latency cache so the timing measures the event
+    # loop, not first-touch GEMM math.
+    cluster.run(stream[:2000], policy)
+
+    def run():
+        return cluster.run(stream, policy)
+
+    rep = benchmark.pedantic(run, rounds=2, iterations=1)
+    wall = float(benchmark.stats.stats.mean)
+    perf_record(
+        "hetero_100k",
+        benchmark,
+        requests=len(stream),
+        events=rep.events_processed,
+        events_per_sec=round(rep.events_processed / wall),
+        requests_per_sec=round(len(stream) / wall),
+        served=rep.served,
+        rejected=len(rep.rejected),
+    )
+    assert rep.served + len(rep.rejected) == len(stream)
+    assert rep.events_processed > len(stream)  # arrivals + finishes + ticks
+
+
+def test_kernel_micro(benchmark, perf_record):
+    """The bare kernel: a preloaded stream plus one scheduled event each."""
+    n = 100_000
+
+    def run():
+        kernel = DiscreteEventKernel()
+        kernel.preload(
+            Event(float(i) * 1e-3, EventKind.ARRIVAL, i) for i in range(n)
+        )
+
+        def on_arrival(now, events):
+            for ev in events:
+                kernel.schedule(now + 5e-4, EventKind.FINISH, ev.entity)
+
+        kernel.run({EventKind.ARRIVAL: on_arrival})
+        return kernel
+
+    kernel = benchmark.pedantic(run, rounds=3, iterations=1)
+    wall = float(benchmark.stats.stats.mean)
+    perf_record(
+        "kernel_micro",
+        benchmark,
+        events=kernel.processed,
+        events_per_sec=round(kernel.processed / wall),
+    )
+    assert kernel.processed == 2 * n

@@ -1,41 +1,44 @@
 """The elastic fleet simulator: nodes join and drain mid-run.
 
-Extends the :mod:`repro.cluster` discrete-event fleet with a node
-lifecycle and a control loop:
+Extends the :mod:`repro.cluster` fleet with a node lifecycle and a
+control loop, all expressed as events on the shared :mod:`repro.sim`
+kernel:
 
 * **provisioning** — a newly ordered node becomes routable only after a
-  provisioning delay modeling weight-copy time: a base spin-up plus the
-  hosted models' total weight bytes over a copy bandwidth (the placement's
-  per-model bytes are exactly what must stream into the node's PIM-enabled
-  DRAM before it can serve);
+  provisioning delay modeling weight-copy time (a ``READY`` event): a
+  base spin-up plus the hosted models' total weight bytes over a copy
+  bandwidth (the placement's per-model bytes are exactly what must
+  stream into the node's PIM-enabled DRAM before it can serve);
 * **draining** — a node picked for scale-down leaves the routing set
   immediately, finishes its queued work, then retires; it can be
   *reactivated* for free if the autoscaler changes its mind before the
-  drain completes (and nodes still provisioning are cancelled first, since
-  they never held traffic);
-* **control ticks** — every ``control_interval_s`` the
-  :class:`~repro.autoscale.policies.AutoscalePolicy` sees a windowed
-  observation (arrivals, completions, rejections, exact busy-time
-  utilization, windowed p99 via the shared nearest-rank helpers) and
-  answers with a desired fleet size, clamped to ``[min_nodes,
-  max_nodes]``.
+  drain completes (and nodes still provisioning are cancelled first,
+  since they never held traffic);
+* **control ticks** — every ``control_interval_s`` (a ``CONTROL``
+  event) the :class:`~repro.autoscale.policies.AutoscalePolicy` sees a
+  windowed observation (arrivals, completions, rejections, exact
+  busy-time utilization via :class:`~repro.sim.metrics.BusyWindow`,
+  windowed p99) and answers with a desired fleet size, clamped to
+  ``[min_nodes, max_nodes]``;
+* **failures** — an optional :class:`~repro.sim.failures.FailureTrace`
+  injects ``FAIL``/``RECOVER`` events: a failed node drops its queue
+  and in-flight batch (counted as failed requests), leaves the owned
+  set (so the policy's next tick sees the loss and can order a
+  replacement), and rejoins empty on recovery.
 
 Every node replicates the full served-model set — the same convention the
 static :class:`~repro.cluster.planner.CapacityPlanner` uses, since a model
 pinned to fewer replicas than nodes would cap elasticity regardless of
-fleet size.  Event ordering matches the static fleet exactly (arrivals
-before finishes at equal timestamps, finishes tie-broken by node id), so
-an :class:`ElasticCluster` run under a static policy with the same node
-count reproduces a :class:`~repro.cluster.fleet.Cluster` run request for
-request.
+fleet size.  Event ordering is the kernel's documented total order
+(arrivals before control ticks before finishes at equal timestamps,
+ties by node id), so an :class:`ElasticCluster` run under a static
+policy with the same node count reproduces a
+:class:`~repro.cluster.fleet.Cluster` run request for request.
 """
 
 from __future__ import annotations
 
-import heapq
-import math
-from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.autoscale.policies import AutoscalePolicy, ControlObservation
@@ -44,10 +47,13 @@ from repro.cluster.node import ClusterNode
 from repro.cluster.router import Router, make_router
 from repro.serving.engine import (
     POLICIES,
+    FailedRequest,
     OnlineServingEngine,
     Request,
-    nearest_rank,
 )
+from repro.sim.failures import FailureTrace
+from repro.sim.kernel import DiscreteEventKernel, Event, EventKind
+from repro.sim.metrics import BusyWindow, nearest_rank
 
 __all__ = ["ElasticCluster", "NodeState"]
 
@@ -55,17 +61,11 @@ __all__ = ["ElasticCluster", "NodeState"]
 PROVISIONING = "provisioning"
 ACTIVE = "active"
 DRAINING = "draining"
+FAILED = "failed"
 RETIRED = "retired"
 
 #: Exposed for introspection/tests.
-NodeState = (PROVISIONING, ACTIVE, DRAINING, RETIRED)
-
-# Event kinds in the simulation heap; the numeric order is the tie-break
-# at equal timestamps: batch finishes first (completions recorded), then
-# provisioned nodes join, then the controller observes the settled state.
-_EV_FINISH = 0
-_EV_READY = 1
-_EV_CONTROL = 2
+NodeState = (PROVISIONING, ACTIVE, DRAINING, FAILED, RETIRED)
 
 
 @dataclass
@@ -75,9 +75,8 @@ class _NodeSlot:
     node: ClusterNode
     state: str
     life: NodeLifetime
-    # Window accounting (exact busy-time integration per control tick).
-    busy_total_prev: float = 0.0
-    overhang_prev: float = 0.0
+    # Exact busy-time integration per control tick.
+    busy_window: BusyWindow = field(default_factory=BusyWindow)
     completed_seen: int = 0
     rejected_seen: int = 0
 
@@ -132,6 +131,7 @@ class ElasticCluster:
         self._slots: Dict[int, _NodeSlot] = {}
         self._next_id = 0
         self._arrived_window = 0
+        self._kernel: Optional[DiscreteEventKernel] = None
 
     # ------------------------------------------------------------------ #
     # Provisioning model
@@ -157,6 +157,7 @@ class ElasticCluster:
         self._slots = {}
         self._next_id = 0
         self._arrived_window = 0
+        self._kernel = DiscreteEventKernel()
         self.router.reset()
         for _ in range(self.initial_nodes):
             self._spawn(0.0, ready_now=True)
@@ -200,9 +201,7 @@ class ElasticCluster:
         if slot.life.retired_s is None:
             slot.life.retired_s = clock
 
-    def _apply_target(
-        self, target: int, clock: float, events: List, seq: List[int]
-    ) -> None:
+    def _apply_target(self, target: int, clock: float) -> None:
         """Order, cancel, reactivate, or drain nodes toward ``target``."""
         owned = self._by_state(ACTIVE) + self._by_state(PROVISIONING)
         delta = target - len(owned)
@@ -218,9 +217,11 @@ class ElasticCluster:
                 delta -= 1
             for _ in range(delta):
                 self._spawn(clock, ready_now=False)
-                ready_at = clock + self.provision_delay_s
-                seq[0] += 1
-                heapq.heappush(events, (ready_at, _EV_READY, seq[0], self._next_id - 1))
+                self._kernel.schedule(
+                    clock + self.provision_delay_s,
+                    EventKind.READY,
+                    self._next_id - 1,
+                )
         elif delta < 0:
             shed = -delta
             # Cancel provisioning nodes first (never held traffic), newest
@@ -250,111 +251,171 @@ class ElasticCluster:
     # ------------------------------------------------------------------ #
 
     def run(
-        self, requests: Iterable[Request], autoscaler: AutoscalePolicy
+        self,
+        requests: Iterable[Request],
+        autoscaler: AutoscalePolicy,
+        failures: Optional[FailureTrace] = None,
     ) -> AutoscaleReport:
         """Serve an arrival-ordered stream while ``autoscaler`` resizes the
-        fleet every control interval."""
+        fleet every control interval.
+
+        Args:
+            requests: Timestamped requests (sorted internally).
+            autoscaler: The sizing policy.
+            failures: Optional outage schedule — failed nodes drop their
+                work, leave the owned set (so the policy's next
+                observation sees the loss), and rejoin on recovery.
+
+        Returns:
+            The :class:`~repro.autoscale.report.AutoscaleReport`.
+        """
         self._fresh()
         autoscaler.reset()
-        arrivals = deque(sorted(requests, key=lambda r: (r.arrival_s, r.req_id)))
-        last_arrival = arrivals[-1].arrival_s if arrivals else 0.0
+        kernel = self._kernel
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+        last_arrival = ordered[-1].arrival_s if ordered else 0.0
         report = AutoscaleReport(
             policy=self.policy,
             autoscaler=autoscaler.name,
             control_interval_s=self.control_interval_s,
             last_arrival_s=last_arrival,
         )
-        events: List = []  # (t, kind, seq/node_id, payload)
-        seq = [0]
+        kernel.preload(
+            Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
+            for i, r in enumerate(ordered)
+        )
         # Control ticks cover the offered window plus one trailing interval
         # (so the controller can react to the last window of load); an
         # empty stream needs no controller at all.
-        if arrivals:
+        if ordered:
+            # Accumulate tick times by repeated addition (not tick *
+            # interval): that is bit-for-bit what the pre-kernel loop
+            # did, and the golden traces pin those exact floats.
             t_tick = self.control_interval_s
+            tick = 1
             while t_tick <= last_arrival + self.control_interval_s:
-                seq[0] += 1
-                heapq.heappush(events, (t_tick, _EV_CONTROL, seq[0], None))
+                kernel.schedule(t_tick, EventKind.CONTROL, tick)
+                tick += 1
                 t_tick += self.control_interval_s
-        clock = 0.0
-        last_service_end = 0.0
-        prev_tick_t = 0.0
+        if failures is not None:
+            failures.schedule_on(kernel)
+        state = {"last_service_end": 0.0, "prev_tick_t": 0.0}
 
-        def dispatch(nid: int, now: float) -> None:
-            slot = self._slots[nid]
+        def dispatch(slot: _NodeSlot, now: float) -> None:
             finish = slot.node.try_dispatch(now)
             if finish is not None:
-                heapq.heappush(events, (finish, _EV_FINISH, nid, None))
+                kernel.schedule(
+                    finish, EventKind.FINISH, slot.node.node_id,
+                    payload=slot.node.epoch,
+                )
 
-        while arrivals or events:
-            t_arr = arrivals[0].arrival_s if arrivals else math.inf
-            t_ev = events[0][0] if events else math.inf
-            if t_arr <= t_ev:
-                # Drain every arrival at this instant before any other
-                # event, matching the static fleet simulator.
-                clock = t_arr
-                touched: Dict[int, ClusterNode] = {}
-                while arrivals and arrivals[0].arrival_s == clock:
-                    r = arrivals.popleft()
-                    replicas = self.replicas_for(r.model)
-                    node = self.router.route(r, replicas, clock)
-                    node.enqueue(r)
-                    self._arrived_window += 1
-                    touched[node.node_id] = node
-                for nid in sorted(touched):
-                    if touched[nid].idle:
-                        dispatch(nid, clock)
-                continue
-            t, kind, key, payload = heapq.heappop(events)
-            clock = t
-            if kind == _EV_FINISH:
-                nid = key
-                slot = self._slots[nid]
-                slot.node.finish_batch(clock)
-                last_service_end = clock
-                dispatch(nid, clock)
+        def on_arrivals(now: float, events: List[Event]) -> None:
+            # Drain every arrival at this instant before any other event,
+            # matching the static fleet simulator.
+            touched: Dict[int, _NodeSlot] = {}
+            for ev in events:
+                r = ev.payload
+                replicas = self.replicas_for(r.model)
+                if not replicas:
+                    report.dropped.append(
+                        FailedRequest(request=r, failed_at_s=now, reason="unrouted")
+                    )
+                    continue
+                node = self.router.route(r, replicas, now)
+                node.enqueue(r)
+                self._arrived_window += 1
+                touched[node.node_id] = self._slots[node.node_id]
+            for nid in sorted(touched):
+                if touched[nid].node.idle:
+                    dispatch(touched[nid], now)
+
+        def on_finishes(now: float, events: List[Event]) -> None:
+            for ev in events:
+                slot = self._slots[ev.entity]
+                if ev.payload != slot.node.epoch:
+                    continue  # batch was lost to a failure; stale event
+                slot.node.finish_batch(now)
+                state["last_service_end"] = now
+                dispatch(slot, now)
                 if (
                     slot.state == DRAINING
                     and slot.node.idle
                     and not slot.node.queue
                 ):
-                    self._retire(slot, clock)
-            elif kind == _EV_READY:
-                slot = self._slots[payload]
+                    self._retire(slot, now)
+
+        def on_readies(now: float, events: List[Event]) -> None:
+            for ev in events:
+                slot = self._slots[ev.entity]
                 # A node cancelled while provisioning stays retired; its
                 # ready event is stale.
                 if slot.state == PROVISIONING:
                     slot.state = ACTIVE
-                    slot.life.ready_s = clock
-            elif kind == _EV_CONTROL:
-                obs = self._observe(prev_tick_t, clock)
-                prev_tick_t = clock
-                desired = autoscaler.desired_nodes(obs)
-                target = max(self.min_nodes, min(self.max_nodes, desired))
-                self._apply_target(target, clock, events, seq)
-                report.samples.append(
-                    ControlSample(
-                        t=clock,
-                        active=obs.active,
-                        provisioning=obs.provisioning,
-                        draining=obs.draining,
-                        desired=target,
-                        arrivals=obs.arrivals,
-                        completions=obs.completions,
-                        rejections=obs.rejections,
-                        window_p99_s=obs.window_p99_s,
-                        utilization=obs.utilization,
-                        backlog=obs.backlog,
-                    )
+                    slot.life.ready_s = now
+
+        def on_fails(now: float, events: List[Event]) -> None:
+            for ev in events:
+                slot = self._slots.get(ev.entity)
+                if slot is None:
+                    continue
+                if slot.state == ACTIVE:
+                    slot.node.fail(now)
+                    slot.state = FAILED
+                elif slot.state == DRAINING:
+                    # It was leaving anyway; the failure just drops its
+                    # backlog and retires it on the spot.
+                    slot.node.fail(now)
+                    self._retire(slot, now)
+
+        def on_recovers(now: float, events: List[Event]) -> None:
+            for ev in events:
+                slot = self._slots.get(ev.entity)
+                if slot is not None and slot.state == FAILED:
+                    slot.state = ACTIVE
+
+        def on_control(now: float, events: List[Event]) -> None:
+            obs = self._observe(state["prev_tick_t"], now)
+            state["prev_tick_t"] = now
+            desired = autoscaler.desired_nodes(obs)
+            target = max(self.min_nodes, min(self.max_nodes, desired))
+            self._apply_target(target, now)
+            report.samples.append(
+                ControlSample(
+                    t=now,
+                    active=obs.active,
+                    provisioning=obs.provisioning,
+                    draining=obs.draining,
+                    desired=target,
+                    arrivals=obs.arrivals,
+                    completions=obs.completions,
+                    rejections=obs.rejections,
+                    window_p99_s=obs.window_p99_s,
+                    utilization=obs.utilization,
+                    backlog=obs.backlog,
+                    failed=obs.failed,
                 )
+            )
+
+        kernel.run(
+            {
+                EventKind.ARRIVAL: on_arrivals,
+                EventKind.FINISH: on_finishes,
+                EventKind.READY: on_readies,
+                EventKind.CONTROL: on_control,
+                EventKind.FAIL: on_fails,
+                EventKind.RECOVER: on_recovers,
+            }
+        )
         # The serving horizon excludes trailing control ticks (controller
         # bookkeeping, not service) — a static-policy run matches the
-        # static fleet's sim_end exactly.  Anything still draining or
-        # provisioning retires here.
-        sim_end = max(last_service_end, last_arrival)
+        # static fleet's sim_end exactly.  Anything still draining,
+        # provisioning, or failed retires here.
+        sim_end = max(state["last_service_end"], last_arrival)
         for slot in self._slots.values():
             if slot.state != RETIRED:
                 self._retire(slot, sim_end)
         report.sim_end_s = sim_end
+        report.events_processed = kernel.processed
         for nid, slot in sorted(self._slots.items()):
             slot.node.report.sim_end_s = sim_end
             report.node_reports[nid] = slot.node.report
@@ -381,18 +442,13 @@ class ElasticCluster:
             window_lats.extend(c.latency_s for c in new_completed)
             rejections += len(rep.rejected) - slot.rejected_seen
             slot.rejected_seen = len(rep.rejected)
-            # Exact busy seconds inside (t0, t1]: total credited since the
-            # last tick, minus the part of the running batch past t1, plus
-            # the previously-subtracted part that fell into this window.
-            overhang = max(0.0, slot.node.busy_until - t1) if slot.node.in_flight else 0.0
-            busy_window += (
-                slot.node.busy_s - slot.busy_total_prev
-                - overhang
-                + slot.overhang_prev
+            busy_window += slot.busy_window.observe(
+                slot.node.busy_s,
+                slot.node.busy_until,
+                bool(slot.node.in_flight),
+                t1,
             )
-            slot.busy_total_prev = slot.node.busy_s
-            slot.overhang_prev = overhang
-            if slot.state != RETIRED:
+            if slot.state not in (RETIRED, FAILED):
                 backlog += slot.node.backlog()
         n_active = len(active)
         # The numerator sums busy time across every slot (draining nodes
@@ -417,6 +473,7 @@ class ElasticCluster:
             window_p99_s=nearest_rank(window_lats, 99),
             utilization=util,
             backlog=backlog,
+            failed=len(self._by_state(FAILED)),
         )
         self._arrived_window = 0
         return obs

@@ -26,9 +26,7 @@ expensive, high-throughput GPU nodes are rented only for the peak.
 
 from __future__ import annotations
 
-import heapq
 import math
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
@@ -39,11 +37,14 @@ from repro.cluster.placement import ModelPlacement
 from repro.cluster.router import Router, make_router
 from repro.serving.engine import (
     POLICIES,
+    FailedRequest,
     OnlineServingEngine,
     Request,
-    nearest_rank,
 )
 from repro.serving.nodespec import NodeSpec
+from repro.sim.failures import FailureTrace
+from repro.sim.kernel import DiscreteEventKernel, Event, EventKind
+from repro.sim.metrics import BusyWindow, nearest_rank
 
 __all__ = [
     "NodePool",
@@ -59,12 +60,8 @@ __all__ = [
 PROVISIONING = "provisioning"
 ACTIVE = "active"
 DRAINING = "draining"
+FAILED = "failed"
 RETIRED = "retired"
-
-# Event kinds; numeric order is the tie-break at equal timestamps.
-_EV_FINISH = 0
-_EV_READY = 1
-_EV_CONTROL = 2
 
 
 @dataclass(frozen=True)
@@ -318,8 +315,7 @@ class _PoolSlot:
     pool: str
     state: str
     life: NodeLifetime
-    busy_total_prev: float = 0.0
-    overhang_prev: float = 0.0
+    busy_window: BusyWindow = field(default_factory=BusyWindow)
     completed_seen: int = 0
     rejected_seen: int = 0
 
@@ -413,6 +409,7 @@ class HeteroElasticCluster:
         self._slots: Dict[int, _PoolSlot] = {}
         self._next_id = 0
         self._arrived_window: Dict[str, int] = {}
+        self._kernel: Optional[DiscreteEventKernel] = None
 
     # ------------------------------------------------------------------ #
     # Provisioning model
@@ -438,6 +435,7 @@ class HeteroElasticCluster:
         self._slots = {}
         self._next_id = 0
         self._arrived_window = {p: 0 for p in self.pools}
+        self._kernel = DiscreteEventKernel()
         self.router.reset()
         for pool_name in sorted(self.pools):
             for _ in range(self.pools[pool_name].initial_nodes):
@@ -484,9 +482,7 @@ class HeteroElasticCluster:
         if slot.life.retired_s is None:
             slot.life.retired_s = clock
 
-    def _apply_pool_target(
-        self, pool: str, target: int, clock: float, events: List, seq: List[int]
-    ) -> None:
+    def _apply_pool_target(self, pool: str, target: int, clock: float) -> None:
         """Order, cancel, reactivate, or drain one pool toward ``target``."""
         owned = self._pool_state(pool, ACTIVE) + self._pool_state(pool, PROVISIONING)
         delta = target - len(owned)
@@ -502,10 +498,10 @@ class HeteroElasticCluster:
                 delta -= 1
             for _ in range(delta):
                 self._spawn(pool, clock, ready_now=False)
-                ready_at = clock + self.provision_delay_s(pool)
-                seq[0] += 1
-                heapq.heappush(
-                    events, (ready_at, _EV_READY, seq[0], self._next_id - 1)
+                self._kernel.schedule(
+                    clock + self.provision_delay_s(pool),
+                    EventKind.READY,
+                    self._next_id - 1,
                 )
         elif delta < 0:
             shed = -delta
@@ -537,7 +533,10 @@ class HeteroElasticCluster:
     # ------------------------------------------------------------------ #
 
     def run(
-        self, requests: Iterable[Request], autoscaler: HeteroAutoscalePolicy
+        self,
+        requests: Iterable[Request],
+        autoscaler: HeteroAutoscalePolicy,
+        failures: Optional[FailureTrace] = None,
     ) -> HeteroAutoscaleReport:
         """Serve an arrival-ordered stream while ``autoscaler`` resizes
         every pool each control interval.
@@ -545,14 +544,18 @@ class HeteroElasticCluster:
         Args:
             requests: Timestamped requests (sorted internally).
             autoscaler: A per-pool policy.
+            failures: Optional outage schedule (node ids are spawn
+                order) — failed nodes drop their work, leave their
+                pool's owned set, and rejoin on recovery.
 
         Returns:
             The :class:`HeteroAutoscaleReport` for the run.
         """
         self._fresh()
         autoscaler.reset()
-        arrivals = deque(sorted(requests, key=lambda r: (r.arrival_s, r.req_id)))
-        last_arrival = arrivals[-1].arrival_s if arrivals else 0.0
+        kernel = self._kernel
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+        last_arrival = ordered[-1].arrival_s if ordered else 0.0
         report = HeteroAutoscaleReport(
             policy=self.policy,
             autoscaler=autoscaler.name,
@@ -560,104 +563,144 @@ class HeteroElasticCluster:
             last_arrival_s=last_arrival,
             pool_specs={p: pool.spec for p, pool in self.pools.items()},
         )
-        events: List = []
-        seq = [0]
-        if arrivals:
+        kernel.preload(
+            Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
+            for i, r in enumerate(ordered)
+        )
+        if ordered:
             t_tick = self.control_interval_s
+            tick = 1
             while t_tick <= last_arrival + self.control_interval_s:
-                seq[0] += 1
-                heapq.heappush(events, (t_tick, _EV_CONTROL, seq[0], None))
+                kernel.schedule(t_tick, EventKind.CONTROL, tick)
+                tick += 1
                 t_tick += self.control_interval_s
-        clock = 0.0
-        last_service_end = 0.0
-        prev_tick_t = 0.0
+        if failures is not None:
+            failures.schedule_on(kernel)
+        state = {"last_service_end": 0.0, "prev_tick_t": 0.0}
 
-        def dispatch(nid: int, now: float) -> None:
-            slot = self._slots[nid]
+        def dispatch(slot: _PoolSlot, now: float) -> None:
             finish = slot.node.try_dispatch(now)
             if finish is not None:
-                heapq.heappush(events, (finish, _EV_FINISH, nid, None))
+                kernel.schedule(
+                    finish, EventKind.FINISH, slot.node.node_id,
+                    payload=slot.node.epoch,
+                )
 
-        while arrivals or events:
-            t_arr = arrivals[0].arrival_s if arrivals else math.inf
-            t_ev = events[0][0] if events else math.inf
-            if t_arr <= t_ev:
-                clock = t_arr
-                touched: Dict[int, ClusterNode] = {}
-                while arrivals and arrivals[0].arrival_s == clock:
-                    r = arrivals.popleft()
-                    replicas = self.replicas_for(r.model)
-                    node = self.router.route(r, replicas, clock)
-                    node.enqueue(r)
-                    self._arrived_window[self._slots[node.node_id].pool] += 1
-                    touched[node.node_id] = node
-                for nid in sorted(touched):
-                    if touched[nid].idle:
-                        dispatch(nid, clock)
-                continue
-            t, kind, key, payload = heapq.heappop(events)
-            clock = t
-            if kind == _EV_FINISH:
-                nid = key
-                slot = self._slots[nid]
-                slot.node.finish_batch(clock)
-                last_service_end = clock
-                dispatch(nid, clock)
+        def on_arrivals(now: float, events: List[Event]) -> None:
+            touched: Dict[int, ClusterNode] = {}
+            for ev in events:
+                r = ev.payload
+                replicas = self.replicas_for(r.model)
+                if not replicas:
+                    report.dropped.append(
+                        FailedRequest(request=r, failed_at_s=now, reason="unrouted")
+                    )
+                    continue
+                node = self.router.route(r, replicas, now)
+                node.enqueue(r)
+                self._arrived_window[self._slots[node.node_id].pool] += 1
+                touched[node.node_id] = node
+            for nid in sorted(touched):
+                if touched[nid].idle:
+                    dispatch(self._slots[nid], now)
+
+        def on_finishes(now: float, events: List[Event]) -> None:
+            for ev in events:
+                slot = self._slots[ev.entity]
+                if ev.payload != slot.node.epoch:
+                    continue  # batch was lost to a failure; stale event
+                slot.node.finish_batch(now)
+                state["last_service_end"] = now
+                dispatch(slot, now)
                 if (
                     slot.state == DRAINING
                     and slot.node.idle
                     and not slot.node.queue
                 ):
-                    self._retire(slot, clock)
-            elif kind == _EV_READY:
-                slot = self._slots[payload]
+                    self._retire(slot, now)
+
+        def on_readies(now: float, events: List[Event]) -> None:
+            for ev in events:
+                slot = self._slots[ev.entity]
                 if slot.state == PROVISIONING:
                     slot.state = ACTIVE
-                    slot.life.ready_s = clock
-            elif kind == _EV_CONTROL:
-                obs = self._observe(prev_tick_t, clock)
-                prev_tick_t = clock
-                desired = autoscaler.desired_by_pool(obs)
-                unknown = sorted(set(desired) - set(self.pools))
-                if unknown:
-                    raise ValueError(
-                        f"policy {autoscaler.name!r} targets unknown pools "
-                        f"{unknown}; cluster pools: {sorted(self.pools)}"
-                    )
-                timeline_row: Dict[str, Any] = {"t_s": round(clock, 6)}
-                targets: Dict[str, int] = {}
-                for pool_name in sorted(self.pools):
-                    pool = self.pools[pool_name]
-                    want = desired.get(pool_name, obs[pool_name].fleet)
-                    target = max(pool.min_nodes, min(pool.max_nodes, want))
-                    targets[pool_name] = target
-                    self._apply_pool_target(pool_name, target, clock, events, seq)
-                    timeline_row[f"{pool_name}_nodes"] = (
-                        len(self._pool_state(pool_name, ACTIVE))
-                        + len(self._pool_state(pool_name, PROVISIONING))
-                    )
-                report.pool_timeline.append(timeline_row)
-                agg = self._aggregate(obs)
-                report.samples.append(
-                    ControlSample(
-                        t=clock,
-                        active=agg.active,
-                        provisioning=agg.provisioning,
-                        draining=agg.draining,
-                        desired=sum(targets.values()),
-                        arrivals=agg.arrivals,
-                        completions=agg.completions,
-                        rejections=agg.rejections,
-                        window_p99_s=agg.window_p99_s,
-                        utilization=agg.utilization,
-                        backlog=agg.backlog,
-                    )
+                    slot.life.ready_s = now
+
+        def on_fails(now: float, events: List[Event]) -> None:
+            for ev in events:
+                slot = self._slots.get(ev.entity)
+                if slot is None:
+                    continue
+                if slot.state == ACTIVE:
+                    slot.node.fail(now)
+                    slot.state = FAILED
+                elif slot.state == DRAINING:
+                    slot.node.fail(now)
+                    self._retire(slot, now)
+
+        def on_recovers(now: float, events: List[Event]) -> None:
+            for ev in events:
+                slot = self._slots.get(ev.entity)
+                if slot is not None and slot.state == FAILED:
+                    slot.state = ACTIVE
+
+        def on_control(now: float, events: List[Event]) -> None:
+            obs = self._observe(state["prev_tick_t"], now)
+            state["prev_tick_t"] = now
+            desired = autoscaler.desired_by_pool(obs)
+            unknown = sorted(set(desired) - set(self.pools))
+            if unknown:
+                raise ValueError(
+                    f"policy {autoscaler.name!r} targets unknown pools "
+                    f"{unknown}; cluster pools: {sorted(self.pools)}"
                 )
-        sim_end = max(last_service_end, last_arrival)
+            timeline_row: Dict[str, Any] = {"t_s": round(now, 6)}
+            targets: Dict[str, int] = {}
+            for pool_name in sorted(self.pools):
+                pool = self.pools[pool_name]
+                want = desired.get(pool_name, obs[pool_name].fleet)
+                target = max(pool.min_nodes, min(pool.max_nodes, want))
+                targets[pool_name] = target
+                self._apply_pool_target(pool_name, target, now)
+                timeline_row[f"{pool_name}_nodes"] = (
+                    len(self._pool_state(pool_name, ACTIVE))
+                    + len(self._pool_state(pool_name, PROVISIONING))
+                )
+            report.pool_timeline.append(timeline_row)
+            agg = self._aggregate(obs)
+            report.samples.append(
+                ControlSample(
+                    t=now,
+                    active=agg.active,
+                    provisioning=agg.provisioning,
+                    draining=agg.draining,
+                    desired=sum(targets.values()),
+                    arrivals=agg.arrivals,
+                    completions=agg.completions,
+                    rejections=agg.rejections,
+                    window_p99_s=agg.window_p99_s,
+                    utilization=agg.utilization,
+                    backlog=agg.backlog,
+                    failed=agg.failed,
+                )
+            )
+
+        kernel.run(
+            {
+                EventKind.ARRIVAL: on_arrivals,
+                EventKind.FINISH: on_finishes,
+                EventKind.READY: on_readies,
+                EventKind.CONTROL: on_control,
+                EventKind.FAIL: on_fails,
+                EventKind.RECOVER: on_recovers,
+            }
+        )
+        sim_end = max(state["last_service_end"], last_arrival)
         for slot in self._slots.values():
             if slot.state != RETIRED:
                 self._retire(slot, sim_end)
         report.sim_end_s = sim_end
+        report.events_processed = kernel.processed
         for nid, slot in sorted(self._slots.items()):
             slot.node.report.sim_end_s = sim_end
             report.node_reports[nid] = slot.node.report
@@ -686,20 +729,13 @@ class HeteroElasticCluster:
                 window_lats.extend(c.latency_s for c in new_completed)
                 rejections += len(rep.rejected) - slot.rejected_seen
                 slot.rejected_seen = len(rep.rejected)
-                overhang = (
-                    max(0.0, slot.node.busy_until - t1)
-                    if slot.node.in_flight
-                    else 0.0
+                busy_window += slot.busy_window.observe(
+                    slot.node.busy_s,
+                    slot.node.busy_until,
+                    bool(slot.node.in_flight),
+                    t1,
                 )
-                busy_window += (
-                    slot.node.busy_s
-                    - slot.busy_total_prev
-                    - overhang
-                    + slot.overhang_prev
-                )
-                slot.busy_total_prev = slot.node.busy_s
-                slot.overhang_prev = overhang
-                if slot.state != RETIRED:
+                if slot.state not in (RETIRED, FAILED):
                     backlog += slot.node.backlog()
             n_active = len(self._pool_state(pool_name, ACTIVE))
             n_draining = len(self._pool_state(pool_name, DRAINING))
@@ -720,6 +756,7 @@ class HeteroElasticCluster:
                 window_p99_s=nearest_rank(window_lats, 99),
                 utilization=util,
                 backlog=backlog,
+                failed=len(self._pool_state(pool_name, FAILED)),
             )
             self._arrived_window[pool_name] = 0
         return out
@@ -748,4 +785,5 @@ class HeteroElasticCluster:
             window_p99_s=max(p99s) if p99s else math.nan,
             utilization=util,
             backlog=sum(o.backlog for o in obs.values()),
+            failed=sum(o.failed for o in obs.values()),
         )

@@ -70,6 +70,9 @@ class ControlObservation:
     utilization: float
     #: Queued + in-flight requests across the fleet at the tick.
     backlog: int
+    #: Nodes down with an injected failure at the tick (they left the
+    #: owned set, so a fixed desired size orders a replacement).
+    failed: int = 0
 
     @property
     def fleet(self) -> int:

@@ -26,11 +26,11 @@ from typing import Any, Dict, List, Optional
 from repro.energy.model import ENERGY_TABLE2, EnergyTable
 from repro.serving.engine import (
     CompletedRequest,
+    FailedRequest,
     RejectedRequest,
     ServingReport,
-    nearest_rank,
-    window_latencies,
 )
+from repro.sim.metrics import nearest_rank, window_latencies
 
 __all__ = [
     "NodeLifetime",
@@ -75,6 +75,7 @@ class ControlSample:
     window_p99_s: float
     utilization: float
     backlog: int
+    failed: int = 0
 
     def as_row(self, interval_s: float) -> Dict[str, Any]:
         """A chart/table row (rates in req/s, p99 in ms)."""
@@ -82,6 +83,7 @@ class ControlSample:
             "t_s": round(self.t, 6),
             "nodes": self.active,
             "provisioning": self.provisioning,
+            "failed": self.failed,
             "offered_rps": self.arrivals / interval_s if interval_s > 0 else 0.0,
             "goodput_rps": self.completions / interval_s if interval_s > 0 else 0.0,
             "p99_ms": self.window_p99_s * 1e3,
@@ -158,6 +160,10 @@ class AutoscaleReport:
     node_busy_s: Dict[int, float] = field(default_factory=dict)
     sim_end_s: float = 0.0
     last_arrival_s: float = 0.0
+    #: Arrivals no routable node could take (failure injection).
+    dropped: List[FailedRequest] = field(default_factory=list)
+    #: Kernel events this run processed (simulator diagnostics).
+    events_processed: int = 0
     _sorted_lat: List[float] = field(default_factory=list, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
@@ -175,19 +181,38 @@ class AutoscaleReport:
         return [r for rep in self.node_reports.values() for r in rep.rejected]
 
     @property
+    def failed(self) -> List[FailedRequest]:
+        """Every request lost to node failures (node order), plus
+        arrivals no surviving replica could take."""
+        return [
+            f for rep in self.node_reports.values() for f in rep.failed
+        ] + self.dropped
+
+    @property
     def served(self) -> int:
         """Total completed requests."""
         return sum(len(rep.completed) for rep in self.node_reports.values())
 
     @property
     def offered(self) -> int:
-        """Total requests the fleet saw (completed + rejected)."""
-        return sum(rep.offered for rep in self.node_reports.values())
+        """Total requests the fleet saw (completed + rejected + failed)."""
+        return sum(
+            rep.offered for rep in self.node_reports.values()
+        ) + len(self.dropped)
 
     @property
     def shed_fraction(self) -> float:
         """Fraction of offered requests rejected at admission."""
         return len(self.rejected) / self.offered if self.offered else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests that completed — goodput share
+        surviving both admission shedding and failure losses (1.0 for an
+        empty run)."""
+        if self.offered == 0:
+            return 1.0
+        return self.served / self.offered
 
     @property
     def latencies_s(self) -> List[float]:

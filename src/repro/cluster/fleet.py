@@ -19,9 +19,7 @@ homogeneous cluster request for request.
 
 from __future__ import annotations
 
-import heapq
 import math
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -34,14 +32,16 @@ from repro.cluster.router import Router, make_router
 from repro.serving.engine import (
     POLICIES,
     CompletedRequest,
+    FailedRequest,
     OnlineServingEngine,
     RejectedRequest,
     Request,
     ServingReport,
-    nearest_rank,
-    window_latencies,
 )
 from repro.serving.nodespec import STEPSTONE_NODE, NodeSpec
+from repro.sim.failures import FailureTrace
+from repro.sim.kernel import DiscreteEventKernel, Event, EventKind
+from repro.sim.metrics import nearest_rank, window_latencies
 
 __all__ = ["Cluster", "ClusterReport"]
 
@@ -62,6 +62,11 @@ class ClusterReport:
     #: Hardware spec per node — present for every ``Cluster.run`` report;
     #: ``None`` only on hand-built reports, where cost is undefined.
     specs: Optional[List[NodeSpec]] = None
+    #: Requests that arrived while every replica of their model was down
+    #: (failure injection); empty without a failure trace.
+    dropped: List[FailedRequest] = field(default_factory=list)
+    #: Kernel events this run processed (simulator diagnostics).
+    events_processed: int = 0
     _sorted_lat: List[float] = field(default_factory=list, repr=False, compare=False)
 
     @property
@@ -75,9 +80,18 @@ class ClusterReport:
         return [r for rep in self.node_reports for r in rep.rejected]
 
     @property
+    def failed(self) -> List[FailedRequest]:
+        """Every request lost to node failures: queue drops and in-flight
+        losses (node order), plus arrivals no surviving replica could
+        take."""
+        return [
+            f for rep in self.node_reports for f in rep.failed
+        ] + self.dropped
+
+    @property
     def offered(self) -> int:
-        """Total requests the fleet saw (completed + rejected)."""
-        return sum(rep.offered for rep in self.node_reports)
+        """Total requests the fleet saw (completed + rejected + failed)."""
+        return sum(rep.offered for rep in self.node_reports) + len(self.dropped)
 
     @property
     def served(self) -> int:
@@ -134,6 +148,15 @@ class ClusterReport:
         if self.last_arrival_s <= 0:
             return 0.0
         return self.served / self.last_arrival_s
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests that completed — the goodput
+        share surviving admission shedding *and* failure losses (1.0 for
+        an empty run)."""
+        if self.offered == 0:
+            return 1.0
+        return self.served / self.offered
 
     @property
     def mean_utilization(self) -> float:
@@ -276,51 +299,105 @@ class Cluster:
             node.in_flight = []
             node.busy_until = 0.0
             node.busy_s = 0.0
+            node.epoch = 0
             node.report = ServingReport(policy=node.policy)
 
-    def run(self, requests: Iterable[Request]) -> ClusterReport:
+    def run(
+        self,
+        requests: Iterable[Request],
+        failures: Optional[FailureTrace] = None,
+    ) -> ClusterReport:
         """Serve an arrival-ordered stream across the fleet.
 
         Args:
             requests: Timestamped requests (sorted internally).
+            failures: Optional outage schedule — a down node loses its
+                queue and in-flight batch (recorded as failed requests)
+                and leaves the routing set until it recovers; an
+                arrival whose every replica is down is dropped at the
+                door.
 
         Returns:
             The fleet-wide :class:`ClusterReport`.
         """
         self._fresh_nodes()
         self.router.reset()
-        arrivals = deque(sorted(requests, key=lambda r: (r.arrival_s, r.req_id)))
-        last_arrival = arrivals[-1].arrival_s if arrivals else 0.0
-        finish_events: List = []  # (finish_s, node_id) min-heap
-        clock = 0.0
-        while arrivals or finish_events:
-            t_arr = arrivals[0].arrival_s if arrivals else math.inf
-            t_fin = finish_events[0][0] if finish_events else math.inf
-            if t_arr <= t_fin:
-                # Drain every arrival at this instant before any dispatch,
-                # so simultaneous requests can share a batch (single-node
-                # engine semantics) and routing sees them in stream order.
-                clock = t_arr
-                touched: Dict[int, ClusterNode] = {}
-                while arrivals and arrivals[0].arrival_s == clock:
-                    r = arrivals.popleft()
-                    node = self.router.route(r, self.replicas_for(r.model), clock)
-                    node.enqueue(r)
-                    touched[node.node_id] = node
-                for nid in sorted(touched):
-                    node = touched[nid]
-                    if node.idle:
-                        finish = node.try_dispatch(clock)
-                        if finish is not None:
-                            heapq.heappush(finish_events, (finish, nid))
-            else:
-                clock, nid = heapq.heappop(finish_events)
-                node = self.nodes[nid]
-                node.finish_batch(clock)
-                finish = node.try_dispatch(clock)
-                if finish is not None:
-                    heapq.heappush(finish_events, (finish, nid))
-        sim_end = max(clock, last_arrival)
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+        last_arrival = ordered[-1].arrival_s if ordered else 0.0
+        kernel = DiscreteEventKernel()
+        kernel.preload(
+            Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
+            for i, r in enumerate(ordered)
+        )
+        if failures is not None:
+            failures.schedule_on(kernel)
+        down: set = set()
+        dropped: List[FailedRequest] = []
+        last_service_end = 0.0
+
+        def dispatch(node: ClusterNode, now: float) -> None:
+            finish = node.try_dispatch(now)
+            if finish is not None:
+                kernel.schedule(
+                    finish, EventKind.FINISH, node.node_id, payload=node.epoch
+                )
+
+        def on_arrivals(now: float, events: List[Event]) -> None:
+            # All arrivals at this instant route before any dispatch, so
+            # simultaneous requests can share a batch (single-node engine
+            # semantics) and routing sees them in stream order.
+            touched: Dict[int, ClusterNode] = {}
+            for ev in events:
+                r = ev.payload
+                replicas = [
+                    n
+                    for n in self.replicas_for(r.model)
+                    if n.node_id not in down
+                ]
+                if not replicas:
+                    dropped.append(
+                        FailedRequest(
+                            request=r, failed_at_s=now, reason="unrouted"
+                        )
+                    )
+                    continue
+                node = self.router.route(r, replicas, now)
+                node.enqueue(r)
+                touched[node.node_id] = node
+            for nid in sorted(touched):
+                if touched[nid].idle:
+                    dispatch(touched[nid], now)
+
+        def on_finishes(now: float, events: List[Event]) -> None:
+            nonlocal last_service_end
+            for ev in events:
+                node = self.nodes[ev.entity]
+                if ev.payload != node.epoch:
+                    continue  # batch was lost to a failure; stale event
+                node.finish_batch(now)
+                last_service_end = now
+                dispatch(node, now)
+
+        def on_fails(now: float, events: List[Event]) -> None:
+            for ev in events:
+                nid = ev.entity
+                if nid >= len(self.nodes) or nid in down:
+                    continue
+                down.add(nid)
+                self.nodes[nid].fail(now)
+
+        def on_recovers(now: float, events: List[Event]) -> None:
+            down.difference_update(ev.entity for ev in events)
+
+        kernel.run(
+            {
+                EventKind.ARRIVAL: on_arrivals,
+                EventKind.FINISH: on_finishes,
+                EventKind.FAIL: on_fails,
+                EventKind.RECOVER: on_recovers,
+            }
+        )
+        sim_end = max(last_service_end, last_arrival)
         report = ClusterReport(
             policy=self.policy,
             router=self.router.name,
@@ -329,6 +406,8 @@ class Cluster:
             last_arrival_s=last_arrival,
             node_busy_s=[node.busy_s for node in self.nodes],
             specs=list(self.specs),
+            dropped=dropped,
+            events_processed=kernel.processed,
         )
         for rep in report.node_reports:
             rep.sim_end_s = sim_end

@@ -21,6 +21,7 @@ from typing import List, Optional, Set
 
 from repro.serving.engine import (
     CompletedRequest,
+    FailedRequest,
     OnlineServingEngine,
     RejectedRequest,
     Request,
@@ -68,7 +69,15 @@ class ClusterNode:
         self.in_flight: List[Request] = []
         self.busy_until: float = 0.0
         self.busy_s: float = 0.0
+        #: Bumped on every failure; a pending finish event carrying an
+        #: older epoch is stale (its batch was lost) and must be ignored.
+        self.epoch: int = 0
         self._dispatch_s: float = 0.0
+        # Batch-1 latency per model: a hardware property of this node,
+        # so it survives runs.  The SLO-feasibility routers ask for it
+        # once per replica per arrival — caching here keeps that hot
+        # path a dict hit instead of re-keying the engine's memo.
+        self._min_lat: dict = {}
         self.report = ServingReport(policy=self.policy)
 
     @property
@@ -84,7 +93,11 @@ class ClusterNode:
     def min_latency(self, model: str) -> float:
         """Batch-1 service seconds for ``model`` on this node's hardware —
         the feasibility floor routers compare against a request's SLO."""
-        return self.engine.batch_latency(model, self.policy, 1, spec=self.spec)
+        hit = self._min_lat.get(model)
+        if hit is None:
+            hit = self.engine.batch_latency(model, self.policy, 1, spec=self.spec)
+            self._min_lat[model] = hit
+        return hit
 
     def eta_s(self, clock: float) -> float:
         """Seconds until this node could *start* a new batch at ``clock``
@@ -161,3 +174,45 @@ class ClusterNode:
                 )
             )
         self.in_flight = []
+
+    def fail(self, clock: float) -> List[Request]:
+        """Lose everything this node holds at ``clock`` (a node failure).
+
+        The in-flight batch never completes (its requests are recorded
+        as failed with reason ``"in-flight-lost"`` and the busy-time
+        credit taken at dispatch is truncated to the seconds actually
+        served), queued requests are dropped (``"queue-dropped"``), and
+        the epoch bump invalidates the pending finish event.
+
+        Args:
+            clock: The failure instant.
+
+        Returns:
+            The lost requests (in-flight first, then queue order).
+        """
+        lost = list(self.in_flight) + list(self.queue)
+        if self.in_flight:
+            self.busy_s -= max(0.0, self.busy_until - clock)
+            for r in self.in_flight:
+                self.report.failed.append(
+                    FailedRequest(
+                        request=r,
+                        failed_at_s=clock,
+                        node_id=self.node_id,
+                        reason="in-flight-lost",
+                    )
+                )
+        for r in self.queue:
+            self.report.failed.append(
+                FailedRequest(
+                    request=r,
+                    failed_at_s=clock,
+                    node_id=self.node_id,
+                    reason="queue-dropped",
+                )
+            )
+        self.queue = []
+        self.in_flight = []
+        self.busy_until = clock
+        self.epoch += 1
+        return lost

@@ -20,6 +20,7 @@ from repro.experiments import (
     fig13_colocation,
     fig14_energy,
     serve_autoscale,
+    serve_chaos,
     serve_cluster,
     serve_hetero,
     serve_online,
@@ -45,6 +46,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "serve-cluster": serve_cluster.run,
     "serve-autoscale": serve_autoscale.run,
     "serve-hetero": serve_hetero.run,
+    "serve-chaos": serve_chaos.run,
 }
 
 

@@ -13,6 +13,7 @@ from repro.serving.nodespec import (
 from repro.serving.engine import (
     POLICIES,
     CompletedRequest,
+    FailedRequest,
     OnlineServingEngine,
     RejectedRequest,
     Request,
@@ -44,6 +45,7 @@ __all__ = [
     "Request",
     "CompletedRequest",
     "RejectedRequest",
+    "FailedRequest",
     "ServingReport",
     "OnlineServingEngine",
     "slo_admit",

@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import math
 import random
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -41,12 +40,19 @@ from repro.models.inference import all_models
 from repro.models.layers import ModelSpec, pow2_partition
 from repro.serving.nodespec import NodeSpec
 from repro.serving.scheduler import BatchServer
+from repro.sim.kernel import DiscreteEventKernel, Event, EventKind
+
+# Back-compat re-exports: these helpers moved to the simulation substrate
+# (`repro.sim.metrics`) but remain importable from here, where every
+# pre-kernel caller found them.
+from repro.sim.metrics import nearest_rank, window_latencies
 
 __all__ = [
     "POLICIES",
     "Request",
     "CompletedRequest",
     "RejectedRequest",
+    "FailedRequest",
     "ServingReport",
     "OnlineServingEngine",
     "slo_admit",
@@ -113,34 +119,20 @@ class RejectedRequest:
     rejected_at_s: float
 
 
-def nearest_rank(sorted_vals: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending sequence (NaN when empty).
+@dataclass(frozen=True)
+class FailedRequest:
+    """A request lost to a node failure (or dropped with no node to take it).
 
-    The one percentile definition every report in the serving stack shares
-    (:class:`ServingReport`, the fleet's ``ClusterReport``, and the
-    autoscaler's windowed timelines), so their numbers are comparable.
+    ``reason`` distinguishes how it was lost: ``"in-flight-lost"`` (its
+    batch was running on the node that died), ``"queue-dropped"`` (it was
+    waiting on the dead node), or ``"unrouted"`` (it arrived while every
+    replica of its model was down).
     """
-    if not 0 < q <= 100:
-        raise ValueError("percentile must be in (0, 100]")
-    if not sorted_vals:
-        return math.nan
-    rank = max(1, math.ceil(q / 100.0 * len(sorted_vals)))
-    return sorted_vals[rank - 1]
 
-
-def window_latencies(
-    completed: Iterable[CompletedRequest], start_s: float, end_s: float
-) -> List[float]:
-    """Sorted latencies of completions that *finished* in ``[start_s, end_s)``.
-
-    Anchoring the window on finish time (not arrival) is what a live
-    autoscaler can actually observe at ``end_s``: a request still in flight
-    has no latency yet.  An empty or inverted window yields ``[]`` (its
-    percentile is NaN), matching "no signal this interval".
-    """
-    return sorted(
-        c.latency_s for c in completed if start_s <= c.finish_s < end_s
-    )
+    request: Request
+    failed_at_s: float
+    node_id: Optional[int] = None
+    reason: str = "queue-dropped"
 
 
 @dataclass
@@ -150,12 +142,13 @@ class ServingReport:
     policy: str
     completed: List[CompletedRequest] = field(default_factory=list)
     rejected: List[RejectedRequest] = field(default_factory=list)
+    failed: List[FailedRequest] = field(default_factory=list)
     sim_end_s: float = 0.0
     _sorted_lat: List[float] = field(default_factory=list, repr=False, compare=False)
 
     @property
     def offered(self) -> int:
-        return len(self.completed) + len(self.rejected)
+        return len(self.completed) + len(self.rejected) + len(self.failed)
 
     @property
     def latencies_s(self) -> List[float]:
@@ -522,52 +515,87 @@ class OnlineServingEngine:
     # ------------------------------------------------------------------ #
 
     def run(self, requests: Iterable[Request], policy: str) -> ServingReport:
-        """Serve an arrival-ordered request stream under one policy."""
+        """Serve an arrival-ordered request stream under one policy.
+
+        A 1-entity simulation on the shared :mod:`repro.sim` kernel: the
+        arrival stream is preloaded, each dispatched batch schedules its
+        own ``FINISH`` event, and the kernel's total order (arrivals
+        before finishes at equal instants) makes a request landing
+        exactly at a batch boundary join the next batch — the same
+        contract the fleet simulators obey.
+        """
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
-        pending = deque(sorted(requests, key=lambda r: (r.arrival_s, r.req_id)))
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
         report = ServingReport(policy=policy)
-        if not pending:
+        if not ordered:
             return report
-        last_arrival = pending[-1].arrival_s
+        kernel = DiscreteEventKernel()
+        kernel.preload(
+            Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
+            for i, r in enumerate(ordered)
+        )
         queue: List[Request] = []
-        clock = 0.0
-        while pending or queue:
-            if not queue:
-                clock = max(clock, pending[0].arrival_s)
-            while pending and pending[0].arrival_s <= clock:
-                queue.append(pending.popleft())
-            # FIFO batch from the oldest request's model only.
-            head_model = queue[0].model
-            candidates = [r for r in queue if r.model == head_model][: self.max_batch]
-            # SLO admission: drop requests whose wait + predicted service
-            # exceeds their bound, least headroom first, in a single sorted
-            # pass — a smaller batch serves faster, so a violator at this
-            # size may fit at the next, and mass rejection would overshoot.
-            batch, rejected_now, service = slo_admit(
-                candidates,
-                clock,
-                lambda size: self.batch_latency(head_model, policy, size),
-            )
-            for r in rejected_now:
-                report.rejected.append(RejectedRequest(request=r, rejected_at_s=clock))
-            if batch:
-                finish = clock + service
-                for r in batch:
-                    report.completed.append(
-                        CompletedRequest(
-                            request=r,
-                            dispatch_s=clock,
-                            finish_s=finish,
-                            batch=len(batch),
-                        )
+        busy = False
+        last_finish = 0.0
+
+        def try_dispatch(now: float) -> None:
+            # FIFO batch from the oldest request's model only.  SLO
+            # admission drops requests whose wait + predicted service
+            # exceeds their bound, least headroom first, in a single
+            # sorted pass — a smaller batch serves faster, so a violator
+            # at this size may fit at the next, and mass rejection would
+            # overshoot.  A fully rejected batch moves on to the next
+            # head-of-queue model without advancing time.
+            nonlocal busy
+            while not busy and queue:
+                head_model = queue[0].model
+                candidates = [r for r in queue if r.model == head_model][
+                    : self.max_batch
+                ]
+                batch, rejected_now, service = slo_admit(
+                    candidates,
+                    now,
+                    lambda size: self.batch_latency(head_model, policy, size),
+                )
+                for r in rejected_now:
+                    report.rejected.append(
+                        RejectedRequest(request=r, rejected_at_s=now)
                     )
-                clock = finish
-            # Remove by object identity: req_ids are caller-chosen and may
-            # collide across merged streams.
-            removed = {id(r) for r in batch} | {id(r) for r in rejected_now}
-            queue = [r for r in queue if id(r) not in removed]
-        report.sim_end_s = max(clock, last_arrival)
+                # Remove by object identity: req_ids are caller-chosen
+                # and may collide across merged streams.
+                removed = {id(r) for r in batch} | {id(r) for r in rejected_now}
+                queue[:] = [r for r in queue if id(r) not in removed]
+                if batch:
+                    busy = True
+                    kernel.schedule(
+                        now + service, EventKind.FINISH, 0, payload=(batch, now)
+                    )
+
+        def on_arrivals(now: float, events: List[Event]) -> None:
+            queue.extend(ev.payload for ev in events)
+            try_dispatch(now)
+
+        def on_finish(now: float, events: List[Event]) -> None:
+            nonlocal busy, last_finish
+            batch, dispatched = events[0].payload
+            for r in batch:
+                report.completed.append(
+                    CompletedRequest(
+                        request=r,
+                        dispatch_s=dispatched,
+                        finish_s=now,
+                        batch=len(batch),
+                    )
+                )
+            busy = False
+            last_finish = now
+            try_dispatch(now)
+
+        kernel.run(
+            {EventKind.ARRIVAL: on_arrivals, EventKind.FINISH: on_finish}
+        )
+        report.sim_end_s = max(last_finish, ordered[-1].arrival_s)
         return report
 
     def run_policies(

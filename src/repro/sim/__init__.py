@@ -1,0 +1,34 @@
+"""The discrete-event simulation substrate under every serving layer.
+
+Bottom of the serving stack: :mod:`repro.serving.engine` (one node),
+:mod:`repro.cluster` (static fleets), :mod:`repro.autoscale` (elastic
+and heterogeneous fleets) all run on this one kernel instead of four
+hand-rolled event loops.
+
+* :mod:`~repro.sim.kernel` — :class:`SimClock`, typed :class:`Event`\\ s
+  on one queue with an explicit, tested total order (time, then event
+  kind priority, then entity id), epoch-batched delivery, and an O(1)
+  path for pre-sorted bulk streams;
+* :mod:`~repro.sim.metrics` — the shared measurement vocabulary
+  (:func:`nearest_rank` percentiles, :func:`window_latencies`,
+  :class:`BusyWindow` exact busy-time integration);
+* :mod:`~repro.sim.failures` — :class:`FailureTrace` outage schedules
+  (scripted or seeded MTBF/MTTR) that inject ``FAIL``/``RECOVER``
+  events no pre-kernel loop could express.
+"""
+
+from repro.sim.failures import FailureTrace, Outage
+from repro.sim.kernel import DiscreteEventKernel, Event, EventKind, SimClock
+from repro.sim.metrics import BusyWindow, nearest_rank, window_latencies
+
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventKind",
+    "DiscreteEventKernel",
+    "nearest_rank",
+    "window_latencies",
+    "BusyWindow",
+    "Outage",
+    "FailureTrace",
+]

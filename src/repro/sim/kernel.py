@@ -1,0 +1,269 @@
+"""The deterministic discrete-event kernel every serving loop runs on.
+
+One clock, one event queue, one total order.  Before this kernel the repo
+carried four hand-rolled event loops (single-node engine, static fleet,
+elastic fleet, heterogeneous elastic fleet), each re-implementing the
+heap, the clock, and the tie-break contract their request-for-request
+equivalence tests depend on.  The kernel owns all three, so a new
+scenario (e.g. failure injection) is a new event kind plus handlers — not
+a fifth loop.
+
+**The total order.**  Events are dequeued by ``(time, kind, entity,
+seq)``:
+
+========  ========  ====================================================
+priority  kind      why it sorts here
+========  ========  ====================================================
+0         RECOVER   repaired capacity rejoins before anything else this
+                    instant, so arrivals at the recovery instant can
+                    route to it
+1         ARRIVAL   arrivals drain before any other processing at the
+                    same instant, so simultaneous requests share batches
+                    and routing sees them in stream order
+2         READY     provisioned nodes join the routing set before the
+                    controller looks
+3         CONTROL   the controller observes after arrivals and joins
+4         FAIL      outages strike after the controller observed (it
+                    reacts next tick) and before finishes, so a batch
+                    completing exactly at the failure instant is lost —
+                    the pessimistic reading
+5         FINISH    completions are recorded last at any instant
+========  ========  ====================================================
+
+Ties inside one ``(time, kind)`` break by ``entity`` (node id, stream
+index, tick number), then by the kernel-assigned insertion sequence, so
+the order is total and insertion-order independent —
+``tests/test_sim.py`` permutes insertion orders to prove it.
+
+**Epoch delivery.**  ``run`` delivers every event sharing one ``(time,
+kind)`` as a single batch to that kind's handler.  That is exactly the
+"drain every arrival at this instant before any dispatch" contract the
+pre-kernel loops implemented by hand, and for single-entity kinds it
+degenerates to one event per call.
+
+**Bulk streams stay O(1).**  Request arrivals are known upfront and
+sorted; pushing 100k of them through the heap would pay an avoidable
+log-factor.  ``preload`` accepts the sorted stream and the kernel merges
+it with the heap of dynamically scheduled events, preserving the one
+total order at deque-head cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from enum import IntEnum
+from typing import Any, Callable, Deque, Iterable, List, Mapping, NamedTuple
+
+__all__ = ["EventKind", "Event", "SimClock", "DiscreteEventKernel"]
+
+
+class EventKind(IntEnum):
+    """Event classes in kernel priority order (lower = earlier at a tie).
+
+    The numeric values ARE the tie-break contract at equal timestamps —
+    see the module docstring's table.  New event kinds must pick a slot
+    in this order deliberately; appending without thought silently
+    changes simultaneous-event semantics.
+    """
+
+    RECOVER = 0
+    ARRIVAL = 1
+    READY = 2
+    CONTROL = 3
+    FAIL = 4
+    FINISH = 5
+
+
+class Event(NamedTuple):
+    """One scheduled occurrence; compares as its total-order key.
+
+    As a ``NamedTuple`` an event *is* its heap entry: tuple comparison
+    over ``(time, kind, entity, seq)`` implements the documented total
+    order, and ``seq`` (kernel-assigned, globally unique) guarantees the
+    comparison never reaches the possibly-uncomparable ``payload``.
+    """
+
+    #: Simulated instant the event fires, seconds.
+    time: float
+    #: Event class (an :class:`EventKind`; plain ints compare equal).
+    kind: int
+    #: Tie-break id inside one (time, kind): node id, stream index, ...
+    entity: int = 0
+    #: Kernel-assigned insertion sequence; callers leave the default.
+    seq: int = 0
+    #: Opaque handler data (request, epoch counter, ...).
+    payload: Any = None
+
+
+class SimClock:
+    """Monotonic simulated time.
+
+    The kernel owns one and advances it as events dequeue; handlers may
+    read ``now`` but never set it — time only moves by processing events.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, t: float) -> None:
+        """Move time forward to ``t``.
+
+        Args:
+            t: The next event's timestamp.
+
+        Raises:
+            RuntimeError: If ``t`` is in the past — a scheduling bug.
+        """
+        if t < self.now:
+            raise RuntimeError(
+                f"simulated time went backwards: {self.now} -> {t}"
+            )
+        self.now = t
+
+
+#: A handler receives ``(now, events)`` — every event of one kind firing
+#: at one instant, in entity order.
+Handler = Callable[[float, List[Event]], None]
+
+
+class DiscreteEventKernel:
+    """One simulation run: a heap plus a pre-sorted bulk stream.
+
+    Usage::
+
+        kernel = DiscreteEventKernel()
+        kernel.preload(Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
+                       for i, r in enumerate(stream))
+        kernel.schedule(0.5, EventKind.CONTROL)
+        kernel.run({EventKind.ARRIVAL: on_arrivals, ...})
+
+    Handlers may call :meth:`schedule` while the run is in flight (that
+    is how dispatches create their finish events); scheduling into the
+    past raises.  An event scheduled for the *current* instant with an
+    already-passed kind priority still fires at this instant, in a later
+    batch — time never moves backwards, but intra-instant priority only
+    orders events that existed when the instant began.
+    """
+
+    __slots__ = ("clock", "processed", "_heap", "_stream", "_seq")
+
+    def __init__(self) -> None:
+        self.clock = SimClock()
+        #: Events delivered to handlers so far (the events/sec numerator).
+        self.processed = 0
+        self._heap: List[Event] = []
+        self._stream: Deque[Event] = deque()
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def _stamp(self, ev: Event) -> Event:
+        self._seq += 1
+        return ev._replace(seq=self._seq)
+
+    def preload(self, events: Iterable[Event]) -> None:
+        """Append a time-ordered bulk stream (e.g. request arrivals).
+
+        The stream bypasses the heap — the kernel merges it with
+        dynamically scheduled events at dequeue time — so preloading n
+        events costs O(n), not O(n log n).  Preloaded events keep their
+        ``seq`` of 0: they are never ``<``-compared against each other
+        (the stream is FIFO), and against heap events (``seq >= 1``) the
+        comparison resolves at ``seq`` at the latest, so the possibly
+        uncomparable payload is never reached.
+
+        Args:
+            events: Events already sorted by ``(time, kind, entity)``,
+                also non-decreasing relative to any earlier preload.
+
+        Raises:
+            ValueError: If the events are out of order.
+        """
+        stream = self._stream
+        prev = stream[-1][:3] if stream else None
+        for ev in events:
+            key = ev[:3]
+            if prev is not None and key < prev:
+                raise ValueError(
+                    f"preloaded events out of order: {key} after {prev}"
+                )
+            prev = key
+            stream.append(ev)
+
+    def schedule(
+        self, time: float, kind: int, entity: int = 0, payload: Any = None
+    ) -> Event:
+        """Insert one event into the run.
+
+        Args:
+            time: Firing instant (>= the current clock).
+            kind: An :class:`EventKind`.
+            entity: Tie-break id within the (time, kind) batch.
+            payload: Opaque data handed to the handler.
+
+        Returns:
+            The stamped event (useful in tests).
+
+        Raises:
+            ValueError: If ``time`` is before the current clock.
+        """
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule into the past: {time} < {self.clock.now}"
+            )
+        ev = self._stamp(Event(time, int(kind), entity, payload=payload))
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # ------------------------------------------------------------------ #
+    # The run loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, handlers: Mapping[int, Handler]) -> float:
+        """Drain the queue, delivering per-instant batches to handlers.
+
+        Args:
+            handlers: :class:`EventKind` -> handler.  Kinds without a
+                handler are dequeued and dropped (still counted in
+                ``processed``).
+
+        Returns:
+            The final clock value (the last event's timestamp, or 0.0
+            for an empty run).
+        """
+        heap, stream = self._heap, self._stream
+        clock = self.clock
+        heappop = heapq.heappop
+        while heap or stream:
+            if stream and (not heap or stream[0] < heap[0]):
+                first = stream.popleft()
+            else:
+                first = heappop(heap)
+            t, kind = first.time, first.kind
+            batch = [first]
+            # Collect the rest of this (time, kind) batch.  The global
+            # minimum lives at one of the two heads; if it no longer
+            # matches, nothing later can.
+            while True:
+                if stream and (not heap or stream[0] < heap[0]):
+                    nxt = stream[0]
+                    if nxt.time == t and nxt.kind == kind:
+                        batch.append(stream.popleft())
+                        continue
+                elif heap:
+                    nxt = heap[0]
+                    if nxt.time == t and nxt.kind == kind:
+                        batch.append(heappop(heap))
+                        continue
+                break
+            clock.advance(t)
+            self.processed += len(batch)
+            handler = handlers.get(kind)
+            if handler is not None:
+                handler(t, batch)
+        return clock.now

@@ -96,12 +96,14 @@ class TestDocs:
     def test_cluster_autoscale_public_docstrings(self):
         """Every public ``__all__`` member of the fleet packages — and
         every public method/property it defines — documents itself (the
-        docstring-audit gate for `repro.cluster` and `repro.autoscale`)."""
+        docstring-audit gate for `repro.sim`, `repro.cluster`, and
+        `repro.autoscale`)."""
         import repro.autoscale
         import repro.cluster
+        import repro.sim
 
         missing = []
-        for pkg in (repro.cluster, repro.autoscale):
+        for pkg in (repro.sim, repro.cluster, repro.autoscale):
             for name in pkg.__all__:
                 obj = getattr(pkg, name)
                 if not (isinstance(obj, type) or callable(obj)):
@@ -144,6 +146,9 @@ class TestDocs:
             "repro.cluster.planner",
             "repro.autoscale.hetero",
             "repro.reporting.charts",
+            "repro.sim.kernel",
+            "repro.sim.metrics",
+            "repro.sim.failures",
         ):
             m = importlib.import_module(mod)
             assert m.__doc__ and len(m.__doc__) > 40, mod

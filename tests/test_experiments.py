@@ -29,6 +29,7 @@ class TestRegistry:
             "serve-cluster",
             "serve-autoscale",
             "serve-hetero",
+            "serve-chaos",
         }
 
     def test_unknown_id_raises(self):

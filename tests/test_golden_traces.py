@@ -1,0 +1,302 @@
+"""Golden-trace regression fixtures: the pre-refactor request streams.
+
+These fixtures were captured from the serving stack *before* the four
+event loops (engine, cluster, elastic, hetero) were rebuilt on the shared
+:mod:`repro.sim` kernel, and they pin request-for-request behavior across
+that migration: every completed request's (node, dispatch, finish, batch),
+every admission rejection, every control-tick sample, and every node
+lifecycle timestamp must reproduce exactly (same seeds, same floats).
+
+Regenerate (only when a *deliberate* behavior change is being made):
+
+    PYTHONPATH=src python tests/test_golden_traces.py --capture
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+SEED = 42
+MIX = {"BERT": 0.9, "DLRM": 0.1}
+
+
+def _f(x):
+    """NaN-safe float for JSON comparison (NaN != NaN, so map it to None)."""
+    if x is None or x != x:
+        return None
+    return float(x)
+
+
+def _serving_rows(node_id, rep):
+    completed = [
+        [
+            node_id,
+            c.request.req_id,
+            c.request.model,
+            _f(c.request.arrival_s),
+            _f(c.dispatch_s),
+            _f(c.finish_s),
+            c.batch,
+        ]
+        for c in rep.completed
+    ]
+    rejected = [
+        [node_id, r.request.req_id, r.request.model, _f(r.rejected_at_s)]
+        for r in rep.rejected
+    ]
+    return completed, rejected
+
+
+def _report_payload(node_reports, sim_end_s, extra=None):
+    """Serializable request-for-request view of per-node serving reports.
+
+    Args:
+        node_reports: Iterable of ``(node_id, ServingReport)`` pairs.
+        sim_end_s: The run's serving horizon.
+        extra: Optional additional payload entries.
+    """
+    completed, rejected = [], []
+    for nid, rep in node_reports:
+        c, r = _serving_rows(nid, rep)
+        completed.extend(c)
+        rejected.extend(r)
+    payload = {
+        "sim_end_s": _f(sim_end_s),
+        "completed": completed,
+        "rejected": rejected,
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def _autoscale_extra(rep):
+    return {
+        "samples": [
+            [
+                _f(s.t),
+                s.active,
+                s.provisioning,
+                s.draining,
+                s.desired,
+                s.arrivals,
+                s.completions,
+                s.rejections,
+                _f(s.window_p99_s),
+                _f(s.utilization),
+                s.backlog,
+            ]
+            for s in rep.samples
+        ],
+        "lifetimes": [
+            [
+                life.node_id,
+                _f(life.ordered_s),
+                _f(life.ready_s),
+                _f(life.drain_s),
+                _f(life.retired_s),
+            ]
+            for _, life in sorted(rep.lifetimes.items())
+        ],
+        "node_busy_s": [
+            [nid, _f(b)] for nid, b in sorted(rep.node_busy_s.items())
+        ],
+    }
+
+
+# --------------------------------------------------------------------- #
+# Scenarios (shared by capture and comparison — do not edit casually)
+# --------------------------------------------------------------------- #
+
+
+def scenario_engine():
+    """Single-node engine: merged Poisson BERT+DLRM stream, hybrid."""
+    from repro.serving import (
+        OnlineServingEngine,
+        merge_streams,
+        poisson_requests,
+    )
+
+    engine = OnlineServingEngine()
+    stream = merge_streams(
+        poisson_requests("BERT", 220.0, 4.0, seed=11, slo_s=1.0),
+        poisson_requests("DLRM", 40.0, 4.0, seed=12, slo_s=0.8, start_id=10_000),
+    )
+    rep = engine.run(stream, "hybrid")
+    return _report_payload([(0, rep)], rep.sim_end_s)
+
+
+def scenario_cluster():
+    """Mixed-spec static fleet behind the backend-affinity router."""
+    from repro.cluster import Cluster
+    from repro.serving import (
+        GPU_NODE,
+        STEPSTONE_NODE,
+        OnlineServingEngine,
+        merge_streams,
+        poisson_requests,
+    )
+
+    engine = OnlineServingEngine()
+    cluster = Cluster(
+        policy="hybrid",
+        router="backend-affinity",
+        engine=engine,
+        specs=[STEPSTONE_NODE, STEPSTONE_NODE, GPU_NODE],
+    )
+    stream = merge_streams(
+        poisson_requests("BERT", 500.0, 4.0, seed=21, slo_s=0.6),
+        poisson_requests("DLRM", 60.0, 4.0, seed=22, slo_s=0.6, start_id=10_000),
+    )
+    rep = cluster.run(stream)
+    return _report_payload(
+        list(enumerate(rep.node_reports)),
+        rep.sim_end_s,
+        extra={
+            "last_arrival_s": _f(rep.last_arrival_s),
+            "node_busy_s": [[i, _f(b)] for i, b in enumerate(rep.node_busy_s)],
+        },
+    )
+
+
+def scenario_elastic():
+    """Elastic fleet under the reactive policy on a diurnal swing."""
+    from repro.autoscale import (
+        DiurnalTrace,
+        ElasticCluster,
+        TargetUtilizationPolicy,
+        mix_requests,
+        node_capacity_rps,
+    )
+    from repro.serving import OnlineServingEngine
+
+    engine = OnlineServingEngine()
+    cluster = ElasticCluster(
+        engine=engine,
+        policy="hybrid",
+        models=sorted(MIX),
+        initial_nodes=2,
+        min_nodes=1,
+        max_nodes=6,
+        control_interval_s=0.5,
+        provision_base_s=0.15,
+        copy_gbps=10.0,
+    )
+    stream = mix_requests(
+        DiurnalTrace(trough_rps=60.0, peak_rps=420.0, period_s=6.0),
+        MIX,
+        8.0,
+        seed=SEED,
+        slos={m: 1.0 for m in MIX},
+    )
+    capacity = node_capacity_rps(engine, MIX, "hybrid")
+    rep = cluster.run(stream, TargetUtilizationPolicy(capacity, target=0.7))
+    return _report_payload(
+        sorted(rep.node_reports.items()),
+        rep.sim_end_s,
+        extra={"last_arrival_s": _f(rep.last_arrival_s), **_autoscale_extra(rep)},
+    )
+
+
+def scenario_hetero():
+    """StepStone baseline + GPU burst pools under baseline-burst scaling."""
+    from repro.autoscale import (
+        BaselineBurstPolicy,
+        DiurnalTrace,
+        HeteroElasticCluster,
+        NodePool,
+        mix_requests,
+    )
+    from repro.autoscale.policies import node_capacity_rps
+    from repro.serving import GPU_NODE, STEPSTONE_NODE, OnlineServingEngine
+
+    engine = OnlineServingEngine()
+    cluster = HeteroElasticCluster(
+        pools={
+            "stepstone": NodePool(
+                STEPSTONE_NODE, min_nodes=1, max_nodes=6, initial_nodes=2
+            ),
+            "gpu": NodePool(GPU_NODE, min_nodes=0, max_nodes=3, initial_nodes=0),
+        },
+        engine=engine,
+        policy="hybrid",
+        router="backend-affinity",
+        models=sorted(MIX),
+        control_interval_s=0.5,
+    )
+    ss_cap = node_capacity_rps(engine, MIX, "hybrid", spec=STEPSTONE_NODE)
+    gpu_cap = node_capacity_rps(engine, MIX, "hybrid", spec=GPU_NODE)
+    policy = BaselineBurstPolicy(
+        baseline="stepstone",
+        burst="gpu",
+        baseline_nodes=2,
+        baseline_capacity_rps=ss_cap,
+        burst_capacity_rps=gpu_cap,
+        target=0.75,
+    )
+    stream = mix_requests(
+        DiurnalTrace(trough_rps=100.0, peak_rps=900.0, period_s=8.0),
+        MIX,
+        8.0,
+        seed=SEED + 3,
+        slos={m: 1.0 for m in MIX},
+    )
+    rep = cluster.run(stream, policy)
+    return _report_payload(
+        sorted(rep.node_reports.items()),
+        rep.sim_end_s,
+        extra={
+            "last_arrival_s": _f(rep.last_arrival_s),
+            **_autoscale_extra(rep),
+            "node_pool": [
+                [nid, pool] for nid, pool in sorted(rep.node_pool.items())
+            ],
+        },
+    )
+
+
+SCENARIOS = {
+    "engine": scenario_engine,
+    "cluster": scenario_cluster,
+    "elastic": scenario_elastic,
+    "hetero": scenario_hetero,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trace(name):
+    """The refactored stack reproduces the pre-refactor stream exactly."""
+    path = FIXTURES / f"golden_{name}.json"
+    assert path.exists(), (
+        f"missing fixture {path.name}; regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_traces.py --capture`"
+    )
+    expected = json.loads(path.read_text())
+    actual = json.loads(json.dumps(SCENARIOS[name]()))  # normalize tuples
+    assert actual == expected
+
+
+def _capture() -> None:
+    FIXTURES.mkdir(exist_ok=True)
+    for name, build in sorted(SCENARIOS.items()):
+        payload = build()
+        path = FIXTURES / f"golden_{name}.json"
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(
+            f"{path.name}: {len(payload['completed'])} completed, "
+            f"{len(payload['rejected'])} rejected, sim_end "
+            f"{payload['sim_end_s']:.4f}s"
+        )
+
+
+if __name__ == "__main__":
+    if "--capture" in sys.argv:
+        _capture()
+    else:
+        print(__doc__)

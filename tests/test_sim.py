@@ -1,0 +1,246 @@
+"""The discrete-event kernel: total order, epochs, streams, failures.
+
+The tie-break table test is the one place the event total order is
+*asserted* (the kernel docstring is the one place it is documented):
+every permutation of a set of same-time events must pop in the same
+documented order, so no simulation can depend on insertion order.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import (
+    BusyWindow,
+    DiscreteEventKernel,
+    Event,
+    EventKind,
+    FailureTrace,
+    Outage,
+    SimClock,
+    nearest_rank,
+)
+
+
+def drain(kernel):
+    """Run a kernel, returning every delivered event in delivery order."""
+    seen = []
+    handlers = {
+        kind: (lambda now, evs: seen.extend(evs)) for kind in EventKind
+    }
+    kernel.run(handlers)
+    return seen
+
+
+#: The documented total order at one instant: kind priority, then entity
+#: id.  One row per event, listed in expected pop order.
+ORDER_TABLE = [
+    (EventKind.RECOVER, 0),
+    (EventKind.RECOVER, 3),
+    (EventKind.ARRIVAL, 0),
+    (EventKind.ARRIVAL, 7),
+    (EventKind.READY, 2),
+    (EventKind.CONTROL, 1),
+    (EventKind.FAIL, 0),
+    (EventKind.FAIL, 5),
+    (EventKind.FINISH, 0),
+    (EventKind.FINISH, 1),
+    (EventKind.FINISH, 4),
+]
+
+
+def _insertion_orders():
+    """Orders to try: identity, reversed, interleaved, and a seeded
+    random sample (the full 11! is too many)."""
+    base = list(range(len(ORDER_TABLE)))
+    orders = [base, base[::-1], base[1::2] + base[0::2]]
+    rng = random.Random(1234)
+    for _ in range(20):
+        perm = base[:]
+        rng.shuffle(perm)
+        orders.append(perm)
+    return orders
+
+
+class TestTotalOrder:
+    TABLE = ORDER_TABLE
+
+    def test_kind_priorities_are_the_documented_table(self):
+        """ARRIVAL < CONTROL < FINISH (the ISSUE contract), with RECOVER
+        first, READY before CONTROL, and FAIL between CONTROL and FINISH."""
+        assert EventKind.RECOVER < EventKind.ARRIVAL < EventKind.READY
+        assert EventKind.READY < EventKind.CONTROL < EventKind.FAIL
+        assert EventKind.FAIL < EventKind.FINISH
+        assert [k.value for k in EventKind] == [0, 1, 2, 3, 4, 5]
+
+    @pytest.mark.parametrize("perm", _insertion_orders())
+    def test_equal_time_events_pop_in_table_order(self, perm):
+        """Any insertion order of equal-time events pops identically."""
+        kernel = DiscreteEventKernel()
+        for idx in perm:
+            kind, entity = self.TABLE[idx]
+            kernel.schedule(1.0, kind, entity)
+        popped = [(e.kind, e.entity) for e in drain(kernel)]
+        assert popped == [(int(k), n) for k, n in self.TABLE]
+
+    def test_time_dominates_kind_and_entity(self):
+        kernel = DiscreteEventKernel()
+        kernel.schedule(2.0, EventKind.RECOVER, 0)
+        kernel.schedule(1.0, EventKind.FINISH, 99)
+        times = [(e.time, e.kind) for e in drain(kernel)]
+        assert times == [(1.0, int(EventKind.FINISH)), (2.0, int(EventKind.RECOVER))]
+
+    def test_insertion_sequence_breaks_exact_ties(self):
+        kernel = DiscreteEventKernel()
+        a = kernel.schedule(1.0, EventKind.ARRIVAL, 0, payload="first")
+        b = kernel.schedule(1.0, EventKind.ARRIVAL, 0, payload="second")
+        assert a.seq < b.seq
+        assert [e.payload for e in drain(kernel)] == ["first", "second"]
+
+
+class TestKernel:
+    def test_epoch_delivery_batches_same_time_same_kind(self):
+        kernel = DiscreteEventKernel()
+        for entity in (3, 1, 2):
+            kernel.schedule(1.0, EventKind.ARRIVAL, entity)
+        kernel.schedule(1.0, EventKind.FINISH, 0)
+        batches = []
+        kernel.run(
+            {
+                EventKind.ARRIVAL: lambda now, evs: batches.append(
+                    ("arrival", [e.entity for e in evs])
+                ),
+                EventKind.FINISH: lambda now, evs: batches.append(
+                    ("finish", [e.entity for e in evs])
+                ),
+            }
+        )
+        assert batches == [("arrival", [1, 2, 3]), ("finish", [0])]
+
+    def test_preload_merges_with_heap_in_total_order(self):
+        kernel = DiscreteEventKernel()
+        kernel.preload(
+            Event(float(t), EventKind.ARRIVAL, t) for t in range(3)
+        )
+        kernel.schedule(0.5, EventKind.FINISH, 0)
+        kernel.schedule(1.0, EventKind.FINISH, 0)  # after the t=1 arrival
+        order = [(e.time, int(e.kind)) for e in drain(kernel)]
+        assert order == [
+            (0.0, int(EventKind.ARRIVAL)),
+            (0.5, int(EventKind.FINISH)),
+            (1.0, int(EventKind.ARRIVAL)),
+            (1.0, int(EventKind.FINISH)),
+            (2.0, int(EventKind.ARRIVAL)),
+        ]
+
+    def test_preload_rejects_out_of_order_streams(self):
+        kernel = DiscreteEventKernel()
+        with pytest.raises(ValueError, match="out of order"):
+            kernel.preload(
+                [
+                    Event(1.0, EventKind.ARRIVAL, 0),
+                    Event(0.5, EventKind.ARRIVAL, 1),
+                ]
+            )
+
+    def test_schedule_into_the_past_raises(self):
+        kernel = DiscreteEventKernel()
+        kernel.schedule(1.0, EventKind.ARRIVAL, 0)
+        kernel.run({})  # clock now at 1.0
+        with pytest.raises(ValueError, match="past"):
+            kernel.schedule(0.5, EventKind.FINISH, 0)
+
+    def test_clock_is_monotonic_and_processed_counts(self):
+        kernel = DiscreteEventKernel()
+        kernel.preload(Event(float(t), EventKind.ARRIVAL, t) for t in range(5))
+        end = kernel.run({})
+        assert end == 4.0
+        assert kernel.clock.now == 4.0
+        assert kernel.processed == 5
+
+    def test_simclock_rejects_backwards_time(self):
+        clock = SimClock()
+        clock.advance(2.0)
+        with pytest.raises(RuntimeError, match="backwards"):
+            clock.advance(1.0)
+
+    def test_handlers_can_schedule_future_work(self):
+        kernel = DiscreteEventKernel()
+        kernel.schedule(1.0, EventKind.ARRIVAL, 0)
+        seen = []
+
+        def on_arrival(now, evs):
+            kernel.schedule(now + 1.0, EventKind.FINISH, 0)
+
+        kernel.run(
+            {
+                EventKind.ARRIVAL: on_arrival,
+                EventKind.FINISH: lambda now, evs: seen.append(now),
+            }
+        )
+        assert seen == [2.0]
+
+
+class TestBusyWindow:
+    def test_overhang_moves_credit_into_the_right_window(self):
+        bw = BusyWindow()
+        # A 3 s batch dispatched at t=1 crosses the t=2 window edge.
+        assert bw.observe(3.0, 4.0, True, 2.0) == 1.0
+        # Window (2, 4]: the rest of the batch, no new dispatches.
+        assert bw.observe(3.0, 4.0, True, 4.0) == 2.0
+        # Idle window.
+        assert bw.observe(3.0, 4.0, False, 6.0) == 0.0
+
+    def test_matches_simple_accounting_when_no_overhang(self):
+        bw = BusyWindow()
+        assert bw.observe(1.5, 0.0, False, 2.0) == 1.5
+        assert bw.observe(2.5, 0.0, False, 4.0) == 1.0
+
+
+class TestFailureTrace:
+    def test_scripted_sorts_and_validates(self):
+        trace = FailureTrace.scripted([(1, 5.0, 6.0), (0, 1.0, 2.0)])
+        assert [o.node_id for o in trace.outages] == [0, 1]
+        assert len(trace) == 2
+        assert trace.outages[0].duration_s == 1.0
+
+    def test_outage_validation(self):
+        with pytest.raises(ValueError):
+            Outage(0, 5.0, 5.0)
+        with pytest.raises(ValueError):
+            Outage(-1, 0.0, 1.0)
+        with pytest.raises(ValueError, match="overlapping"):
+            FailureTrace.scripted([(0, 1.0, 3.0), (0, 2.0, 4.0)])
+
+    def test_poisson_is_seeded_and_respects_horizon(self):
+        a = FailureTrace.poisson(4, mtbf_s=5.0, mttr_s=1.0, horizon_s=50.0, seed=7)
+        b = FailureTrace.poisson(4, mtbf_s=5.0, mttr_s=1.0, horizon_s=50.0, seed=7)
+        c = FailureTrace.poisson(4, mtbf_s=5.0, mttr_s=1.0, horizon_s=50.0, seed=8)
+        assert a.outages == b.outages
+        assert a.outages != c.outages
+        assert len(a) > 0
+        assert all(o.start_s < 50.0 for o in a.outages)
+
+    def test_schedule_on_emits_fail_recover_pairs(self):
+        kernel = DiscreteEventKernel()
+        FailureTrace.scripted([(2, 1.0, 3.0)]).schedule_on(kernel)
+        events = [(e.time, int(e.kind), e.entity) for e in drain(kernel)]
+        assert events == [
+            (1.0, int(EventKind.FAIL), 2),
+            (3.0, int(EventKind.RECOVER), 2),
+        ]
+
+
+class TestMetricsReexports:
+    def test_serving_engine_still_exports_the_helpers(self):
+        """Back-compat: the pre-refactor import sites keep working."""
+        from repro.serving.engine import nearest_rank as nr
+        from repro.serving.engine import window_latencies as wl
+        from repro.sim.metrics import window_latencies
+
+        assert nr is nearest_rank
+        assert wl is window_latencies
+        from repro.serving import engine
+
+        assert "nearest_rank" in engine.__all__
+        assert "window_latencies" in engine.__all__
