@@ -54,8 +54,10 @@ from repro.autoscale.traces import (
     ReplayTrace,
     ScaledTrace,
     SpikeTrace,
+    mix_request_stream,
     mix_requests,
     nhpp_requests,
+    nhpp_stream,
 )
 
 __all__ = [
@@ -88,5 +90,7 @@ __all__ = [
     "ReplayTrace",
     "ScaledTrace",
     "nhpp_requests",
+    "nhpp_stream",
     "mix_requests",
+    "mix_request_stream",
 ]

@@ -50,10 +50,12 @@ from repro.serving.engine import (
     FailedRequest,
     OnlineServingEngine,
     Request,
+    ServingReport,
 )
 from repro.sim.failures import FailureTrace
 from repro.sim.kernel import DiscreteEventKernel, Event, EventKind
 from repro.sim.metrics import BusyWindow, nearest_rank
+from repro.sim.stats import MetricsRecorder
 
 __all__ = ["ElasticCluster", "NodeState"]
 
@@ -97,9 +99,15 @@ class ElasticCluster:
         provision_base_s: float = 0.15,
         copy_gbps: float = 10.0,
         max_batch: Optional[int] = None,
+        record: str = "full",
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        if record not in ("full", "streaming"):
+            raise ValueError(
+                f"unknown record mode {record!r}; choose 'full' or 'streaming'"
+            )
+        self.record = record
         if initial_nodes <= 0:
             raise ValueError("need at least one initial node")
         if not 1 <= min_nodes <= max_nodes:
@@ -132,6 +140,7 @@ class ElasticCluster:
         self._next_id = 0
         self._arrived_window = 0
         self._kernel: Optional[DiscreteEventKernel] = None
+        self._run_stats: Optional[MetricsRecorder] = None
 
     # ------------------------------------------------------------------ #
     # Provisioning model
@@ -158,6 +167,12 @@ class ElasticCluster:
         self._next_id = 0
         self._arrived_window = 0
         self._kernel = DiscreteEventKernel()
+        self._run_stats = None
+        if self.record == "streaming":
+            # One run-wide recorder every node recorder chains to; its
+            # window ring is rolled at each control tick, so a streaming
+            # window query sees exactly the completions of that tick.
+            self._run_stats = MetricsRecorder(record="streaming")
         self.router.reset()
         for _ in range(self.initial_nodes):
             self._spawn(0.0, ready_now=True)
@@ -172,6 +187,13 @@ class ElasticCluster:
             models=set(self.models),
             max_batch=self.max_batch,
         )
+        if self.record == "streaming":
+            node.report = ServingReport(
+                policy=node.policy,
+                stats=MetricsRecorder(
+                    record="streaming", parent=self._run_stats
+                ),
+            )
         life = NodeLifetime(node_id=nid, ordered_s=clock)
         slot = _NodeSlot(
             node=node,
@@ -255,51 +277,86 @@ class ElasticCluster:
         requests: Iterable[Request],
         autoscaler: AutoscalePolicy,
         failures: Optional[FailureTrace] = None,
+        presorted: bool = False,
+        horizon_s: Optional[float] = None,
     ) -> AutoscaleReport:
         """Serve an arrival-ordered stream while ``autoscaler`` resizes the
         fleet every control interval.
 
         Args:
-            requests: Timestamped requests (sorted internally).
+            requests: Timestamped requests (sorted internally unless
+                ``presorted``).
             autoscaler: The sizing policy.
             failures: Optional outage schedule — failed nodes drop their
                 work, leave the owned set (so the policy's next
                 observation sees the loss), and rejoin on recovery.
+            presorted: The stream is already arrival-ordered; consume it
+                *lazily* through the kernel instead of materializing and
+                sorting — with ``record="streaming"`` this is what keeps
+                a 10M-request run's memory flat (requests exist only
+                between generation and completion).  Requires
+                ``horizon_s``.
+            horizon_s: Arrival horizon for a presorted run — control
+                ticks are scheduled up front through ``horizon_s`` plus
+                one trailing interval, since a lazy stream's end is
+                unknown until it drains.
 
         Returns:
             The :class:`~repro.autoscale.report.AutoscaleReport`.
+
+        Raises:
+            ValueError: If ``presorted`` without ``horizon_s``.
         """
         self._fresh()
         autoscaler.reset()
         kernel = self._kernel
-        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
-        last_arrival = ordered[-1].arrival_s if ordered else 0.0
+        run_stats = self._run_stats
+        if presorted:
+            if horizon_s is None or horizon_s <= 0:
+                raise ValueError("presorted runs need a positive horizon_s")
+            tick_horizon = horizon_s
+            last_arrival = 0.0
+            kernel.preload_stream(
+                Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
+                for i, r in enumerate(requests)
+            )
+            schedule_ticks = True
+        else:
+            ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+            last_arrival = ordered[-1].arrival_s if ordered else 0.0
+            tick_horizon = last_arrival
+            kernel.preload(
+                Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
+                for i, r in enumerate(ordered)
+            )
+            schedule_ticks = bool(ordered)
         report = AutoscaleReport(
             policy=self.policy,
             autoscaler=autoscaler.name,
             control_interval_s=self.control_interval_s,
             last_arrival_s=last_arrival,
         )
-        kernel.preload(
-            Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
-            for i, r in enumerate(ordered)
-        )
         # Control ticks cover the offered window plus one trailing interval
         # (so the controller can react to the last window of load); an
         # empty stream needs no controller at all.
-        if ordered:
+        if schedule_ticks:
             # Accumulate tick times by repeated addition (not tick *
             # interval): that is bit-for-bit what the pre-kernel loop
             # did, and the golden traces pin those exact floats.
             t_tick = self.control_interval_s
             tick = 1
-            while t_tick <= last_arrival + self.control_interval_s:
+            while t_tick <= tick_horizon + self.control_interval_s:
                 kernel.schedule(t_tick, EventKind.CONTROL, tick)
                 tick += 1
                 t_tick += self.control_interval_s
         if failures is not None:
             failures.schedule_on(kernel)
-        state = {"last_service_end": 0.0, "prev_tick_t": 0.0}
+        state = {
+            "last_service_end": 0.0,
+            "prev_tick_t": 0.0,
+            "last_arrival": last_arrival,
+            "n_dropped": 0,
+        }
 
         def dispatch(slot: _NodeSlot, now: float) -> None:
             finish = slot.node.try_dispatch(now)
@@ -313,13 +370,19 @@ class ElasticCluster:
             # Drain every arrival at this instant before any other event,
             # matching the static fleet simulator.
             touched: Dict[int, _NodeSlot] = {}
+            state["last_arrival"] = now
             for ev in events:
                 r = ev.payload
                 replicas = self.replicas_for(r.model)
                 if not replicas:
-                    report.dropped.append(
-                        FailedRequest(request=r, failed_at_s=now, reason="unrouted")
+                    f = FailedRequest(
+                        request=r, failed_at_s=now, reason="unrouted"
                     )
+                    if run_stats is not None:
+                        run_stats.record_failure(f)
+                        state["n_dropped"] += 1
+                    else:
+                        report.dropped.append(f)
                     continue
                 node = self.router.route(r, replicas, now)
                 node.enqueue(r)
@@ -410,12 +473,16 @@ class ElasticCluster:
         # bookkeeping, not service) — a static-policy run matches the
         # static fleet's sim_end exactly.  Anything still draining,
         # provisioning, or failed retires here.
+        last_arrival = state["last_arrival"]
+        report.last_arrival_s = last_arrival
         sim_end = max(state["last_service_end"], last_arrival)
         for slot in self._slots.values():
             if slot.state != RETIRED:
                 self._retire(slot, sim_end)
         report.sim_end_s = sim_end
         report.events_processed = kernel.processed
+        report.n_dropped = state["n_dropped"]
+        report.stats = run_stats
         for nid, slot in sorted(self._slots.items()):
             slot.node.report.sim_end_s = sim_end
             report.node_reports[nid] = slot.node.report
@@ -429,6 +496,7 @@ class ElasticCluster:
         active = self._by_state(ACTIVE)
         provisioning = self._by_state(PROVISIONING)
         draining = self._by_state(DRAINING)
+        streaming = self._run_stats is not None
         window_lats: List[float] = []
         completions = 0
         rejections = 0
@@ -436,12 +504,16 @@ class ElasticCluster:
         backlog = 0
         for slot in self._slots.values():
             rep = slot.node.report
-            new_completed = rep.completed[slot.completed_seen :]
-            slot.completed_seen = len(rep.completed)
-            completions += len(new_completed)
-            window_lats.extend(c.latency_s for c in new_completed)
-            rejections += len(rep.rejected) - slot.rejected_seen
-            slot.rejected_seen = len(rep.rejected)
+            served_now = rep.served
+            if streaming:
+                completions += served_now - slot.completed_seen
+            else:
+                new_completed = rep.completed[slot.completed_seen :]
+                completions += len(new_completed)
+                window_lats.extend(c.latency_s for c in new_completed)
+            slot.completed_seen = served_now
+            rejections += rep.rejected_count - slot.rejected_seen
+            slot.rejected_seen = rep.rejected_count
             busy_window += slot.busy_window.observe(
                 slot.node.busy_s,
                 slot.node.busy_until,
@@ -461,6 +533,16 @@ class ElasticCluster:
         if interval > 0 and n_serving:
             util = max(0.0, min(1.0, busy_window / (interval * n_serving)))
         window_lats.sort()
+        if streaming:
+            # The run recorder's open window holds exactly the
+            # completions since the last tick (CONTROL fires before
+            # FINISH at equal instants, matching the full-mode
+            # "new completions since last tick" semantics); read its
+            # p99, then roll so the next tick starts a fresh window.
+            window_p99 = self._run_stats.window_percentile(99, t0, t1)
+            self._run_stats.roll_window(t1)
+        else:
+            window_p99 = nearest_rank(window_lats, 99)
         obs = ControlObservation(
             t=t1,
             interval_s=interval,
@@ -470,7 +552,7 @@ class ElasticCluster:
             arrivals=self._arrived_window,
             completions=completions,
             rejections=rejections,
-            window_p99_s=nearest_rank(window_lats, 99),
+            window_p99_s=window_p99,
             utilization=util,
             backlog=backlog,
             failed=len(self._by_state(FAILED)),

@@ -40,11 +40,13 @@ from repro.serving.engine import (
     FailedRequest,
     OnlineServingEngine,
     Request,
+    ServingReport,
 )
 from repro.serving.nodespec import NodeSpec
 from repro.sim.failures import FailureTrace
 from repro.sim.kernel import DiscreteEventKernel, Event, EventKind
 from repro.sim.metrics import BusyWindow, nearest_rank
+from repro.sim.stats import MetricsRecorder
 
 __all__ = [
     "NodePool",
@@ -261,6 +263,10 @@ class HeteroAutoscaleReport(AutoscaleReport):
     pool_specs: Dict[str, NodeSpec] = field(default_factory=dict)
     #: One row per control tick: ``{"t_s": ..., "<pool>_nodes": owned}``.
     pool_timeline: List[Dict[str, Any]] = field(default_factory=list)
+    #: Per-pool recorders of a streaming run (empty on full runs) — each
+    #: is the parent of that pool's node recorders, so pool-level
+    #: percentiles survive without per-request records.
+    pool_stats: Dict[str, MetricsRecorder] = field(default_factory=dict)
 
     def node_seconds_by_pool(self) -> Dict[str, float]:
         """Paid machine seconds per pool (provisioning included)."""
@@ -358,9 +364,15 @@ class HeteroElasticCluster:
         provision_base_s: float = 0.15,
         copy_gbps: float = 10.0,
         max_batch: Optional[int] = None,
+        record: str = "full",
     ) -> None:
         if not pools:
             raise ValueError("need at least one pool")
+        if record not in ("full", "streaming"):
+            raise ValueError(
+                f"unknown record mode {record!r}; choose 'full' or 'streaming'"
+            )
+        self.record = record
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
         if control_interval_s <= 0:
@@ -410,6 +422,8 @@ class HeteroElasticCluster:
         self._next_id = 0
         self._arrived_window: Dict[str, int] = {}
         self._kernel: Optional[DiscreteEventKernel] = None
+        self._run_stats: Optional[MetricsRecorder] = None
+        self._pool_stats: Dict[str, MetricsRecorder] = {}
 
     # ------------------------------------------------------------------ #
     # Provisioning model
@@ -436,6 +450,18 @@ class HeteroElasticCluster:
         self._next_id = 0
         self._arrived_window = {p: 0 for p in self.pools}
         self._kernel = DiscreteEventKernel()
+        self._run_stats = None
+        self._pool_stats = {}
+        if self.record == "streaming":
+            # Three aggregation levels, one chain: node recorder ->
+            # pool recorder -> run recorder.  Pool rings answer the
+            # per-pool windowed p99 the policies observe; all rings are
+            # rolled at every control tick.
+            self._run_stats = MetricsRecorder(record="streaming")
+            self._pool_stats = {
+                p: MetricsRecorder(record="streaming", parent=self._run_stats)
+                for p in sorted(self.pools)
+            }
         self.router.reset()
         for pool_name in sorted(self.pools):
             for _ in range(self.pools[pool_name].initial_nodes):
@@ -452,6 +478,13 @@ class HeteroElasticCluster:
             max_batch=self.max_batch,
             spec=self.pools[pool].spec,
         )
+        if self.record == "streaming":
+            node.report = ServingReport(
+                policy=node.policy,
+                stats=MetricsRecorder(
+                    record="streaming", parent=self._pool_stats[pool]
+                ),
+            )
         life = NodeLifetime(node_id=nid, ordered_s=clock)
         slot = _PoolSlot(
             node=node,
@@ -554,6 +587,7 @@ class HeteroElasticCluster:
         self._fresh()
         autoscaler.reset()
         kernel = self._kernel
+        run_stats = self._run_stats
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
         last_arrival = ordered[-1].arrival_s if ordered else 0.0
         report = HeteroAutoscaleReport(
@@ -576,7 +610,7 @@ class HeteroElasticCluster:
                 t_tick += self.control_interval_s
         if failures is not None:
             failures.schedule_on(kernel)
-        state = {"last_service_end": 0.0, "prev_tick_t": 0.0}
+        state = {"last_service_end": 0.0, "prev_tick_t": 0.0, "n_dropped": 0}
 
         def dispatch(slot: _PoolSlot, now: float) -> None:
             finish = slot.node.try_dispatch(now)
@@ -592,9 +626,14 @@ class HeteroElasticCluster:
                 r = ev.payload
                 replicas = self.replicas_for(r.model)
                 if not replicas:
-                    report.dropped.append(
-                        FailedRequest(request=r, failed_at_s=now, reason="unrouted")
+                    f = FailedRequest(
+                        request=r, failed_at_s=now, reason="unrouted"
                     )
+                    if run_stats is not None:
+                        run_stats.record_failure(f)
+                        state["n_dropped"] += 1
+                    else:
+                        report.dropped.append(f)
                     continue
                 node = self.router.route(r, replicas, now)
                 node.enqueue(r)
@@ -701,6 +740,9 @@ class HeteroElasticCluster:
                 self._retire(slot, sim_end)
         report.sim_end_s = sim_end
         report.events_processed = kernel.processed
+        report.n_dropped = state["n_dropped"]
+        report.stats = run_stats
+        report.pool_stats = dict(self._pool_stats)
         for nid, slot in sorted(self._slots.items()):
             slot.node.report.sim_end_s = sim_end
             report.node_reports[nid] = slot.node.report
@@ -712,6 +754,7 @@ class HeteroElasticCluster:
     def _observe(self, t0: float, t1: float) -> Dict[str, ControlObservation]:
         """Per-pool windowed observations over ``(t0, t1]``."""
         interval = t1 - t0
+        streaming = self._run_stats is not None
         out: Dict[str, ControlObservation] = {}
         for pool_name in self.pools:
             window_lats: List[float] = []
@@ -723,12 +766,16 @@ class HeteroElasticCluster:
                 if slot.pool != pool_name:
                     continue
                 rep = slot.node.report
-                new_completed = rep.completed[slot.completed_seen:]
-                slot.completed_seen = len(rep.completed)
-                completions += len(new_completed)
-                window_lats.extend(c.latency_s for c in new_completed)
-                rejections += len(rep.rejected) - slot.rejected_seen
-                slot.rejected_seen = len(rep.rejected)
+                served_now = rep.served
+                if streaming:
+                    completions += served_now - slot.completed_seen
+                else:
+                    new_completed = rep.completed[slot.completed_seen:]
+                    completions += len(new_completed)
+                    window_lats.extend(c.latency_s for c in new_completed)
+                slot.completed_seen = served_now
+                rejections += rep.rejected_count - slot.rejected_seen
+                slot.rejected_seen = rep.rejected_count
                 busy_window += slot.busy_window.observe(
                     slot.node.busy_s,
                     slot.node.busy_until,
@@ -744,6 +791,12 @@ class HeteroElasticCluster:
             if interval > 0 and n_serving:
                 util = max(0.0, min(1.0, busy_window / (interval * n_serving)))
             window_lats.sort()
+            if streaming:
+                pool_rec = self._pool_stats[pool_name]
+                window_p99 = pool_rec.window_percentile(99, t0, t1)
+                pool_rec.roll_window(t1)
+            else:
+                window_p99 = nearest_rank(window_lats, 99)
             out[pool_name] = ControlObservation(
                 t=t1,
                 interval_s=interval,
@@ -753,12 +806,14 @@ class HeteroElasticCluster:
                 arrivals=self._arrived_window[pool_name],
                 completions=completions,
                 rejections=rejections,
-                window_p99_s=nearest_rank(window_lats, 99),
+                window_p99_s=window_p99,
                 utilization=util,
                 backlog=backlog,
                 failed=len(self._pool_state(pool_name, FAILED)),
             )
             self._arrived_window[pool_name] = 0
+        if streaming:
+            self._run_stats.roll_window(t1)
         return out
 
     @staticmethod

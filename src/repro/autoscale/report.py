@@ -31,6 +31,7 @@ from repro.serving.engine import (
     ServingReport,
 )
 from repro.sim.metrics import nearest_rank, window_latencies
+from repro.sim.stats import MetricsRecorder, RecordingModeError
 
 __all__ = [
     "NodeLifetime",
@@ -149,7 +150,15 @@ class FleetPowerModel:
 
 @dataclass
 class AutoscaleReport:
-    """Outcome of one elastic run: serving quality plus machine cost."""
+    """Outcome of one elastic run: serving quality plus machine cost.
+
+    In ``record="full"`` runs per-request records are reachable through
+    the node reports and statistics are exact; in ``record="streaming"``
+    runs the ``stats`` recorder (parent of every node recorder the run
+    created) answers run-wide percentiles from sketches and the
+    per-request list properties raise
+    :class:`~repro.sim.stats.RecordingModeError`.
+    """
 
     policy: str
     autoscaler: str
@@ -160,11 +169,27 @@ class AutoscaleReport:
     node_busy_s: Dict[int, float] = field(default_factory=dict)
     sim_end_s: float = 0.0
     last_arrival_s: float = 0.0
-    #: Arrivals no routable node could take (failure injection).
+    #: Arrivals no routable node could take (failure injection); kept
+    #: only in full-recording runs (streaming runs count them instead).
     dropped: List[FailedRequest] = field(default_factory=list)
+    #: Unrouted-arrival drops counted without records (streaming runs).
+    n_dropped: int = 0
     #: Kernel events this run processed (simulator diagnostics).
     events_processed: int = 0
-    _sorted_lat: List[float] = field(default_factory=list, repr=False, compare=False)
+    #: The run-wide recorder of a streaming run (``None`` on full runs).
+    stats: Optional[MetricsRecorder] = None
+    _lat_memo: tuple = field(default=(-1, ()), repr=False, compare=False)
+
+    @property
+    def record(self) -> str:
+        """The recording mode this report was accumulated under."""
+        if self.stats is not None:
+            return self.stats.record
+        return "full"
+
+    @property
+    def _streaming(self) -> bool:
+        return self.stats is not None and self.stats.record == "streaming"
 
     # ------------------------------------------------------------------ #
     # Serving quality (same vocabulary as ClusterReport)
@@ -172,18 +197,21 @@ class AutoscaleReport:
 
     @property
     def completed(self) -> List[CompletedRequest]:
-        """Every completed request across the run (node order)."""
+        """Every completed request across the run (node order;
+        ``record="full"`` only)."""
         return [c for rep in self.node_reports.values() for c in rep.completed]
 
     @property
     def rejected(self) -> List[RejectedRequest]:
-        """Every admission-rejected request across the run (node order)."""
+        """Every admission-rejected request across the run (node order;
+        ``record="full"`` only)."""
         return [r for rep in self.node_reports.values() for r in rep.rejected]
 
     @property
     def failed(self) -> List[FailedRequest]:
         """Every request lost to node failures (node order), plus
-        arrivals no surviving replica could take."""
+        arrivals no surviving replica could take (``record="full"``
+        only)."""
         return [
             f for rep in self.node_reports.values() for f in rep.failed
         ] + self.dropped
@@ -191,19 +219,37 @@ class AutoscaleReport:
     @property
     def served(self) -> int:
         """Total completed requests."""
-        return sum(len(rep.completed) for rep in self.node_reports.values())
+        return sum(rep.served for rep in self.node_reports.values())
+
+    @property
+    def dropped_count(self) -> int:
+        """Arrivals dropped with no routable node (works in both modes)."""
+        return len(self.dropped) + self.n_dropped
+
+    @property
+    def rejected_count(self) -> int:
+        """Run-wide admission rejections (works in both modes)."""
+        return sum(rep.rejected_count for rep in self.node_reports.values())
+
+    @property
+    def failed_count(self) -> int:
+        """Run-wide failure losses, unrouted drops included (both modes)."""
+        return (
+            sum(rep.failed_count for rep in self.node_reports.values())
+            + self.dropped_count
+        )
 
     @property
     def offered(self) -> int:
         """Total requests the fleet saw (completed + rejected + failed)."""
         return sum(
             rep.offered for rep in self.node_reports.values()
-        ) + len(self.dropped)
+        ) + self.dropped_count
 
     @property
     def shed_fraction(self) -> float:
         """Fraction of offered requests rejected at admission."""
-        return len(self.rejected) / self.offered if self.offered else 0.0
+        return self.rejected_count / self.offered if self.offered else 0.0
 
     @property
     def availability(self) -> float:
@@ -216,13 +262,27 @@ class AutoscaleReport:
 
     @property
     def latencies_s(self) -> List[float]:
-        """Run-wide completed latencies, ascending (memoized)."""
-        if len(self._sorted_lat) != self.served:
-            self._sorted_lat = sorted(c.latency_s for c in self.completed)
-        return self._sorted_lat
+        """Run-wide completed latencies, ascending (memoized per node
+        mutation; ``record="full"`` only)."""
+        if self._streaming:
+            raise RecordingModeError(
+                "the run-wide latency list is unavailable in streaming mode "
+                "— use latency_percentile(); re-run with record='full' for "
+                "per-request records"
+            )
+        key = (
+            self.served,
+            sum(rep.completed.version for rep in self.node_reports.values()),
+        )
+        version, memo = self._lat_memo
+        if version != key:
+            memo = sorted(c.latency_s for c in self.completed)
+            self._lat_memo = (key, memo)
+        return memo
 
     def latency_percentile(self, q: float) -> float:
-        """Nearest-rank percentile of run-wide completed latency.
+        """Percentile of run-wide completed latency: exact nearest-rank
+        on full runs, sketch estimate on streaming runs.
 
         Args:
             q: Percentile in (0, 100].
@@ -230,11 +290,16 @@ class AutoscaleReport:
         Returns:
             Latency seconds (NaN when nothing completed).
         """
+        if self._streaming:
+            return self.stats.percentile(q)
         return nearest_rank(self.latencies_s, q)
 
     def window_percentile(self, q: float, start_s: float, end_s: float) -> float:
         """Run-wide latency percentile over completions finishing in the
-        window — the same helper the per-node reports use."""
+        window — exact on full runs; answered from the run recorder's
+        window ring (rolled at every control tick) on streaming runs."""
+        if self._streaming:
+            return self.stats.window_percentile(q, start_s, end_s)
         return nearest_rank(window_latencies(self.completed, start_s, end_s), q)
 
     @property
@@ -335,7 +400,7 @@ class AutoscaleReport:
         p99_txt = f"{p99 * 1e3:.2f} ms" if p99 == p99 else "n/a"
         return (
             f"{self.autoscaler}/{self.policy}: {self.served} served, "
-            f"{len(self.rejected)} rejected | p99 {p99_txt} | "
+            f"{self.rejected_count} rejected | p99 {p99_txt} | "
             f"{self.goodput_rps:.0f} req/s | "
             f"{self.node_seconds:.1f} node-s "
             f"(mean {self.mean_fleet_size:.2f}, peak {self.peak_fleet_size}), "

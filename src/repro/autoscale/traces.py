@@ -32,11 +32,12 @@ so identical seeds reproduce identical streams bit-for-bit.
 from __future__ import annotations
 
 import bisect
+import heapq
 import math
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.serving.engine import Request, merge_streams
 
@@ -50,7 +51,9 @@ __all__ = [
     "ReplayTrace",
     "ScaledTrace",
     "nhpp_requests",
+    "nhpp_stream",
     "mix_requests",
+    "mix_request_stream",
 ]
 
 
@@ -362,16 +365,51 @@ def nhpp_requests(
         raise ValueError("peak rate must be non-negative")
     if envelope == 0:
         return []
+    return list(
+        nhpp_stream(
+            trace,
+            model,
+            duration_s=duration_s,
+            seed=seed,
+            slo_s=slo_s,
+            start_id=start_id,
+        )
+    )
+
+
+def nhpp_stream(
+    trace: RateTrace,
+    model: str,
+    duration_s: float,
+    seed: int = 0,
+    slo_s: Optional[float] = None,
+    start_id: int = 0,
+) -> Iterator[Request]:
+    """Lazy generator form of :func:`nhpp_requests` — identical output.
+
+    Yields the exact same seeded request sequence as
+    :func:`nhpp_requests` (which is now a thin ``list()`` wrapper around
+    this) without materializing it: a day-long 10M-request trace costs
+    one request of memory at a time.  Feed it to
+    :meth:`repro.sim.kernel.DiscreteEventKernel.preload_stream` or an
+    elastic run's ``presorted=True`` path.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    envelope = trace.peak_rate(0.0, duration_s)
+    if envelope < 0:
+        raise ValueError("peak rate must be non-negative")
+    if envelope == 0:
+        return
     rng = random.Random(seed)
-    out: List[Request] = []
     t = 0.0
     i = start_id
     while True:
         t += rng.expovariate(envelope)
         if t >= duration_s:
-            return out
+            return
         if rng.random() * envelope <= trace.rate_at(t):
-            out.append(Request(req_id=i, model=model, arrival_s=t, slo_s=slo_s))
+            yield Request(req_id=i, model=model, arrival_s=t, slo_s=slo_s)
             i += 1
 
 
@@ -412,3 +450,44 @@ def mix_requests(
             )
         )
     return merge_streams(*streams)
+
+
+def mix_request_stream(
+    trace: RateTrace,
+    mix: Mapping[str, float],
+    duration_s: float,
+    seed: int = 0,
+    slos: Optional[Mapping[str, Optional[float]]] = None,
+    id_stride: int = 1_000_000,
+) -> Iterator[Request]:
+    """Lazy generator form of :func:`mix_requests` — identical output.
+
+    Same per-model seeding and id convention as :func:`mix_requests`,
+    but the per-model streams are :func:`nhpp_stream` generators merged
+    incrementally by ``(arrival_s, req_id)`` with :func:`heapq.merge`,
+    so only one pending request per model is held in memory.  The
+    arrival order matches ``mix_requests`` exactly: per-model arrival
+    times are strictly increasing and ids are disjoint across models,
+    making the sort key unique.
+    """
+    if not mix:
+        raise ValueError("traffic mix must name at least one model")
+    total = float(sum(mix.values()))
+    if total <= 0 or any(w < 0 for w in mix.values()):
+        raise ValueError("traffic shares must be non-negative, sum > 0")
+    slos = slos or {}
+    streams: List[Iterator[Request]] = []
+    for i, (model, share) in enumerate(sorted(mix.items())):
+        if share <= 0:
+            continue
+        streams.append(
+            nhpp_stream(
+                trace.scaled(share / total),
+                model,
+                duration_s=duration_s,
+                seed=seed + i,
+                slo_s=slos.get(model),
+                start_id=i * id_stride,
+            )
+        )
+    return heapq.merge(*streams, key=lambda r: (r.arrival_s, r.req_id))

@@ -42,13 +42,22 @@ from repro.serving.nodespec import STEPSTONE_NODE, NodeSpec
 from repro.sim.failures import FailureTrace
 from repro.sim.kernel import DiscreteEventKernel, Event, EventKind
 from repro.sim.metrics import nearest_rank, window_latencies
+from repro.sim.stats import MetricsRecorder, RecordingModeError
 
 __all__ = ["Cluster", "ClusterReport"]
 
 
 @dataclass
 class ClusterReport:
-    """Fleet-level outcome of one simulated run."""
+    """Fleet-level outcome of one simulated run.
+
+    In ``record="full"`` runs (the default) every per-request record is
+    reachable through the node reports and fleet-wide statistics are
+    exact.  In ``record="streaming"`` runs the ``stats`` recorder — the
+    parent every node recorder chained to — answers fleet-wide
+    percentiles from sketches, and the per-request list properties raise
+    :class:`~repro.sim.stats.RecordingModeError`.
+    """
 
     policy: str
     router: str
@@ -63,50 +72,106 @@ class ClusterReport:
     #: ``None`` only on hand-built reports, where cost is undefined.
     specs: Optional[List[NodeSpec]] = None
     #: Requests that arrived while every replica of their model was down
-    #: (failure injection); empty without a failure trace.
+    #: (failure injection); empty without a failure trace, and kept only
+    #: in full-recording runs (streaming runs count them instead).
     dropped: List[FailedRequest] = field(default_factory=list)
+    #: Unrouted-arrival drops counted without records (streaming runs).
+    n_dropped: int = 0
     #: Kernel events this run processed (simulator diagnostics).
     events_processed: int = 0
-    _sorted_lat: List[float] = field(default_factory=list, repr=False, compare=False)
+    #: The fleet-level recorder of a streaming run (``None`` on full runs,
+    #: where exact statistics come from the per-request records instead).
+    stats: Optional[MetricsRecorder] = None
+    _lat_memo: tuple = field(
+        default=(-1, ()), repr=False, compare=False
+    )
+
+    @property
+    def record(self) -> str:
+        """The recording mode this report was accumulated under."""
+        if self.stats is not None:
+            return self.stats.record
+        return "full"
+
+    @property
+    def _streaming(self) -> bool:
+        return self.stats is not None and self.stats.record == "streaming"
 
     @property
     def completed(self) -> List[CompletedRequest]:
-        """Every completed request across the fleet (node order)."""
+        """Every completed request across the fleet (node order;
+        ``record="full"`` only)."""
         return [c for rep in self.node_reports for c in rep.completed]
 
     @property
     def rejected(self) -> List[RejectedRequest]:
-        """Every admission-rejected request across the fleet (node order)."""
+        """Every admission-rejected request across the fleet (node order;
+        ``record="full"`` only)."""
         return [r for rep in self.node_reports for r in rep.rejected]
 
     @property
     def failed(self) -> List[FailedRequest]:
         """Every request lost to node failures: queue drops and in-flight
         losses (node order), plus arrivals no surviving replica could
-        take."""
+        take (``record="full"`` only)."""
         return [
             f for rep in self.node_reports for f in rep.failed
         ] + self.dropped
 
     @property
+    def dropped_count(self) -> int:
+        """Arrivals dropped with every replica down (works in both modes)."""
+        return len(self.dropped) + self.n_dropped
+
+    @property
+    def rejected_count(self) -> int:
+        """Fleet-wide admission rejections (works in both modes)."""
+        return sum(rep.rejected_count for rep in self.node_reports)
+
+    @property
+    def failed_count(self) -> int:
+        """Fleet-wide failure losses, unrouted drops included (both modes)."""
+        return (
+            sum(rep.failed_count for rep in self.node_reports)
+            + self.dropped_count
+        )
+
+    @property
     def offered(self) -> int:
         """Total requests the fleet saw (completed + rejected + failed)."""
-        return sum(rep.offered for rep in self.node_reports) + len(self.dropped)
+        return sum(rep.offered for rep in self.node_reports) + self.dropped_count
 
     @property
     def served(self) -> int:
         """Total completed requests."""
-        return sum(len(rep.completed) for rep in self.node_reports)
+        return sum(rep.served for rep in self.node_reports)
 
     @property
     def latencies_s(self) -> List[float]:
-        """Fleet-wide completed latencies, ascending (memoized)."""
-        if len(self._sorted_lat) != self.served:
-            self._sorted_lat = sorted(c.latency_s for c in self.completed)
-        return self._sorted_lat
+        """Fleet-wide completed latencies, ascending (memoized per node
+        mutation; ``record="full"`` only)."""
+        if self._streaming:
+            raise RecordingModeError(
+                "the fleet latency list is unavailable in streaming mode — "
+                "use latency_percentile(); re-run with record='full' for "
+                "per-request records"
+            )
+        # Memo key covers every node list's mutation counter, so a
+        # same-length in-place edit still invalidates (the bug the
+        # len-only memo had).
+        key = (
+            self.served,
+            sum(rep.completed.version for rep in self.node_reports),
+        )
+        version, memo = self._lat_memo
+        if version != key:
+            memo = sorted(c.latency_s for c in self.completed)
+            self._lat_memo = (key, memo)
+        return memo
 
     def latency_percentile(self, q: float) -> float:
-        """Nearest-rank percentile of fleet-wide completed latency.
+        """Percentile of fleet-wide completed latency: exact nearest-rank
+        on full runs, sketch estimate on streaming runs.
 
         Args:
             q: Percentile in (0, 100].
@@ -114,11 +179,17 @@ class ClusterReport:
         Returns:
             Latency seconds (NaN when nothing completed).
         """
+        if self._streaming:
+            return self.stats.percentile(q)
         return nearest_rank(self.latencies_s, q)
 
     def window_percentile(self, q: float, start_s: float, end_s: float) -> float:
         """Fleet-wide latency percentile over completions finishing in
-        ``[start_s, end_s)``; NaN when the window saw none."""
+        ``[start_s, end_s)``; NaN when the window saw none.  Exact on
+        full runs, answered from the fleet recorder's window ring on
+        streaming runs."""
+        if self._streaming:
+            return self.stats.window_percentile(q, start_s, end_s)
         return nearest_rank(window_latencies(self.completed, start_s, end_s), q)
 
     @property
@@ -197,7 +268,7 @@ class ClusterReport:
 
     def served_per_node(self) -> List[int]:
         """Completed-request count per node, node order."""
-        return [len(rep.completed) for rep in self.node_reports]
+        return [rep.served for rep in self.node_reports]
 
     def summary(self) -> str:
         """One-line fleet summary (counts, percentiles, rate, util)."""
@@ -206,7 +277,7 @@ class ClusterReport:
             cost = f", ${self.hourly_cost:.2f}/hr"
         return (
             f"{len(self.node_reports)}x{self.policy}/{self.router}: "
-            f"{self.served} served, {len(self.rejected)} rejected | "
+            f"{self.served} served, {self.rejected_count} rejected | "
             f"p50 {self.p50_s * 1e3:.2f} ms, p99 {self.p99_s * 1e3:.2f} ms | "
             f"{self.goodput_rps:.0f} req/s, "
             f"util {self.mean_utilization * 100:.0f}%{cost}"
@@ -233,6 +304,11 @@ class Cluster:
         specs: One :class:`~repro.serving.NodeSpec` per node for a
             heterogeneous fleet; ``None`` means all-StepStone (the
             homogeneous fleet this class always simulated).
+        record: ``"full"`` keeps exact per-request records (the default
+            and the golden-trace contract); ``"streaming"`` accumulates
+            flat-memory aggregates for scale runs.
+        window_s: Auto-roll width of the streaming recorders' window
+            rings (ignored in full mode).
     """
 
     def __init__(
@@ -246,7 +322,15 @@ class Cluster:
         capacity_bytes: float = DEFAULT_NODE_CAPACITY_BYTES,
         max_batch: Optional[int] = None,
         specs: Optional[Sequence[NodeSpec]] = None,
+        record: str = "full",
+        window_s: Optional[float] = None,
     ) -> None:
+        if record not in ("full", "streaming"):
+            raise ValueError(
+                f"unknown record mode {record!r}; choose 'full' or 'streaming'"
+            )
+        self.record = record
+        self.window_s = window_s
         if specs is not None:
             specs = list(specs)
             if not specs:
@@ -293,14 +377,21 @@ class Cluster:
         """Nodes hosting ``model``, placement order (primary first)."""
         return [self.nodes[nid] for nid in self.placement.nodes_for(model)]
 
-    def _fresh_nodes(self) -> None:
+    def _fresh_nodes(self, fleet_stats: Optional[MetricsRecorder] = None) -> None:
         for node in self.nodes:
             node.queue = []
             node.in_flight = []
             node.busy_until = 0.0
             node.busy_s = 0.0
             node.epoch = 0
-            node.report = ServingReport(policy=node.policy)
+            node.report = ServingReport(
+                policy=node.policy,
+                stats=MetricsRecorder(
+                    record=self.record,
+                    window_s=self.window_s,
+                    parent=fleet_stats,
+                ),
+            )
 
     def run(
         self,
@@ -320,7 +411,12 @@ class Cluster:
         Returns:
             The fleet-wide :class:`ClusterReport`.
         """
-        self._fresh_nodes()
+        fleet_stats: Optional[MetricsRecorder] = None
+        if self.record == "streaming":
+            fleet_stats = MetricsRecorder(
+                record="streaming", window_s=self.window_s
+            )
+        self._fresh_nodes(fleet_stats)
         self.router.reset()
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
         last_arrival = ordered[-1].arrival_s if ordered else 0.0
@@ -333,6 +429,7 @@ class Cluster:
             failures.schedule_on(kernel)
         down: set = set()
         dropped: List[FailedRequest] = []
+        n_dropped = 0
         last_service_end = 0.0
 
         def dispatch(node: ClusterNode, now: float) -> None:
@@ -346,6 +443,7 @@ class Cluster:
             # All arrivals at this instant route before any dispatch, so
             # simultaneous requests can share a batch (single-node engine
             # semantics) and routing sees them in stream order.
+            nonlocal n_dropped
             touched: Dict[int, ClusterNode] = {}
             for ev in events:
                 r = ev.payload
@@ -355,11 +453,14 @@ class Cluster:
                     if n.node_id not in down
                 ]
                 if not replicas:
-                    dropped.append(
-                        FailedRequest(
-                            request=r, failed_at_s=now, reason="unrouted"
-                        )
+                    f = FailedRequest(
+                        request=r, failed_at_s=now, reason="unrouted"
                     )
+                    if fleet_stats is not None:
+                        fleet_stats.record_failure(f)
+                        n_dropped += 1
+                    else:
+                        dropped.append(f)
                     continue
                 node = self.router.route(r, replicas, now)
                 node.enqueue(r)
@@ -407,7 +508,9 @@ class Cluster:
             node_busy_s=[node.busy_s for node in self.nodes],
             specs=list(self.specs),
             dropped=dropped,
+            n_dropped=n_dropped,
             events_processed=kernel.processed,
+            stats=fleet_stats,
         )
         for rep in report.node_reports:
             rep.sim_end_s = sim_end

@@ -149,7 +149,7 @@ class ClusterNode:
                 ),
             )
             for r in rejected:
-                self.report.rejected.append(
+                self.report.record_rejection(
                     RejectedRequest(request=r, rejected_at_s=clock)
                 )
             taken = {id(r) for r in admitted} | {id(r) for r in rejected}
@@ -165,7 +165,7 @@ class ClusterNode:
     def finish_batch(self, clock: float) -> None:
         """Record the running batch's completions at ``clock``."""
         for r in self.in_flight:
-            self.report.completed.append(
+            self.report.record_completion(
                 CompletedRequest(
                     request=r,
                     dispatch_s=self._dispatch_s,
@@ -194,7 +194,7 @@ class ClusterNode:
         if self.in_flight:
             self.busy_s -= max(0.0, self.busy_until - clock)
             for r in self.in_flight:
-                self.report.failed.append(
+                self.report.record_failure(
                     FailedRequest(
                         request=r,
                         failed_at_s=clock,
@@ -203,7 +203,7 @@ class ClusterNode:
                     )
                 )
         for r in self.queue:
-            self.report.failed.append(
+            self.report.record_failure(
                 FailedRequest(
                     request=r,
                     failed_at_s=clock,

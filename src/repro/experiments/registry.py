@@ -24,6 +24,7 @@ from repro.experiments import (
     serve_cluster,
     serve_hetero,
     serve_online,
+    serve_scale,
 )
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
@@ -46,6 +47,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "serve-cluster": serve_cluster.run,
     "serve-autoscale": serve_autoscale.run,
     "serve-hetero": serve_hetero.run,
+    "serve-scale": serve_scale.run,
     "serve-chaos": serve_chaos.run,
 }
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.baselines.gpu import GpuGemmModel
@@ -46,6 +46,7 @@ from repro.sim.kernel import DiscreteEventKernel, Event, EventKind
 # (`repro.sim.metrics`) but remain importable from here, where every
 # pre-kernel caller found them.
 from repro.sim.metrics import nearest_rank, window_latencies
+from repro.sim.stats import MetricsRecorder
 
 __all__ = [
     "POLICIES",
@@ -135,80 +136,172 @@ class FailedRequest:
     reason: str = "queue-dropped"
 
 
-@dataclass
 class ServingReport:
-    """Latency distribution and sustained throughput of one policy run."""
+    """Latency distribution and sustained throughput of one policy run.
 
-    policy: str
-    completed: List[CompletedRequest] = field(default_factory=list)
-    rejected: List[RejectedRequest] = field(default_factory=list)
-    failed: List[FailedRequest] = field(default_factory=list)
-    sim_end_s: float = 0.0
-    _sorted_lat: List[float] = field(default_factory=list, repr=False, compare=False)
+    All accumulation goes through one shared
+    :class:`~repro.sim.stats.MetricsRecorder`: ``record="full"`` (the
+    default) keeps exact per-request lists, ``record="streaming"`` keeps
+    only flat-memory aggregates — the per-request list properties
+    (``completed``, ``latencies_s``, ...) then raise
+    :class:`~repro.sim.stats.RecordingModeError` instead of silently
+    returning nothing.
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        sim_end_s: float = 0.0,
+        record: str = "full",
+        stats: Optional[MetricsRecorder] = None,
+    ) -> None:
+        """Create an empty report.
+
+        Args:
+            policy: Dispatch policy label the run used.
+            sim_end_s: Simulated end time (set by the engine after a run).
+            record: ``"full"`` or ``"streaming"`` (ignored when ``stats``
+                is given).
+            stats: An externally built recorder — fleets pass recorders
+                chained to a fleet-level parent here.
+        """
+        self.policy = policy
+        self.sim_end_s = sim_end_s
+        self.stats = stats if stats is not None else MetricsRecorder(record=record)
 
     @property
-    def offered(self) -> int:
-        return len(self.completed) + len(self.rejected) + len(self.failed)
+    def record(self) -> str:
+        """The recording mode: ``"full"`` or ``"streaming"``."""
+        return self.stats.record
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingReport(policy={self.policy!r}, record={self.record!r}, "
+            f"served={self.served}, rejected={self.rejected_count}, "
+            f"failed={self.failed_count}, sim_end_s={self.sim_end_s})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Recording (the kernel's FINISH/admission/failure paths)
+    # ------------------------------------------------------------------ #
+
+    def record_completion(self, c: "CompletedRequest") -> None:
+        """Record one served request."""
+        self.stats.record_completion(c)
+
+    def record_rejection(self, r: "RejectedRequest") -> None:
+        """Record one admission-rejected request."""
+        self.stats.record_rejection(r)
+
+    def record_failure(self, f: "FailedRequest") -> None:
+        """Record one failure-lost request."""
+        self.stats.record_failure(f)
+
+    # ------------------------------------------------------------------ #
+    # Per-request access (full mode; streaming raises)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def completed(self) -> List[CompletedRequest]:
+        """Per-request completion records (``record="full"`` only)."""
+        return self.stats.completed
+
+    @property
+    def rejected(self) -> List[RejectedRequest]:
+        """Per-request rejection records (``record="full"`` only)."""
+        return self.stats.rejected
+
+    @property
+    def failed(self) -> List[FailedRequest]:
+        """Per-request failure records (``record="full"`` only)."""
+        return self.stats.failed
 
     @property
     def latencies_s(self) -> List[float]:
-        """Completed-request latencies, sorted (memoized until new
-        completions arrive)."""
-        if len(self._sorted_lat) != len(self.completed):
-            self._sorted_lat = sorted(c.latency_s for c in self.completed)
-        return self._sorted_lat
+        """Completed-request latencies, sorted (memoized per mutation;
+        ``record="full"`` only — streaming mode answers percentiles from
+        the sketch instead)."""
+        return self.stats.latencies_s
+
+    # ------------------------------------------------------------------ #
+    # Aggregates (both modes)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def served(self) -> int:
+        """Requests completed (works in both recording modes)."""
+        return self.stats.completed_count
+
+    @property
+    def rejected_count(self) -> int:
+        """Requests rejected at admission (works in both modes)."""
+        return self.stats.rejected_count
+
+    @property
+    def failed_count(self) -> int:
+        """Requests lost to failures (works in both modes)."""
+        return self.stats.failed_count
+
+    @property
+    def offered(self) -> int:
+        """Total requests that reached this node (served + shed + lost)."""
+        return self.served + self.rejected_count + self.failed_count
 
     def latency_percentile(self, q: float) -> float:
-        """Nearest-rank percentile of completed-request latency (seconds)."""
-        return nearest_rank(self.latencies_s, q)
+        """Percentile of completed-request latency (seconds): exact
+        nearest-rank in full mode, sketch estimate in streaming mode."""
+        return self.stats.percentile(q)
 
     def window_percentile(self, q: float, start_s: float, end_s: float) -> float:
-        """Nearest-rank latency percentile over completions finishing in
+        """Latency percentile over completions finishing in
         ``[start_s, end_s)`` — NaN when the window saw none (empty stream,
-        all-rejected interval, or a window before the first finish)."""
-        return nearest_rank(window_latencies(self.completed, start_s, end_s), q)
+        all-rejected interval, or a window before the first finish).
+        Exact in full mode; in streaming mode answered from the window
+        ring (snapped to rolled window boundaries)."""
+        return self.stats.window_percentile(q, start_s, end_s)
 
     @property
     def p50_s(self) -> float:
+        """Median completed latency (seconds)."""
         return self.latency_percentile(50)
 
     @property
     def p95_s(self) -> float:
+        """95th-percentile completed latency (seconds)."""
         return self.latency_percentile(95)
 
     @property
     def p99_s(self) -> float:
+        """99th-percentile completed latency (seconds)."""
         return self.latency_percentile(99)
 
     @property
     def mean_queue_s(self) -> float:
-        if not self.completed:
-            return math.nan
-        return sum(c.queue_s for c in self.completed) / len(self.completed)
+        """Mean queueing delay (NaN when nothing completed)."""
+        return self.stats.mean_queue_s
 
     @property
     def mean_service_s(self) -> float:
-        if not self.completed:
-            return math.nan
-        return sum(c.service_s for c in self.completed) / len(self.completed)
+        """Mean batch service time (NaN when nothing completed)."""
+        return self.stats.mean_service_s
 
     @property
     def mean_batch(self) -> float:
-        if not self.completed:
-            return math.nan
-        return sum(c.batch for c in self.completed) / len(self.completed)
+        """Mean dispatched batch size (NaN when nothing completed)."""
+        return self.stats.mean_batch
 
     @property
     def throughput_rps(self) -> float:
         """Sustained rate: completed requests per simulated second."""
         if self.sim_end_s <= 0:
             return 0.0
-        return len(self.completed) / self.sim_end_s
+        return self.served / self.sim_end_s
 
     def summary(self) -> str:
+        """One-line human-readable digest of the run."""
         return (
-            f"{self.policy:>6}: {len(self.completed)} served, "
-            f"{len(self.rejected)} rejected | "
+            f"{self.policy:>6}: {self.served} served, "
+            f"{self.rejected_count} rejected | "
             f"p50 {self.p50_s * 1e3:.2f} ms, p99 {self.p99_s * 1e3:.2f} ms | "
             f"{self.throughput_rps:.0f} req/s "
             f"(mean batch {self.mean_batch:.1f})"
@@ -514,7 +607,9 @@ class OnlineServingEngine:
     # Simulation loop
     # ------------------------------------------------------------------ #
 
-    def run(self, requests: Iterable[Request], policy: str) -> ServingReport:
+    def run(
+        self, requests: Iterable[Request], policy: str, record: str = "full"
+    ) -> ServingReport:
         """Serve an arrival-ordered request stream under one policy.
 
         A 1-entity simulation on the shared :mod:`repro.sim` kernel: the
@@ -523,11 +618,14 @@ class OnlineServingEngine:
         before finishes at equal instants) makes a request landing
         exactly at a batch boundary join the next batch — the same
         contract the fleet simulators obey.
+
+        ``record="streaming"`` accumulates flat-memory aggregates instead
+        of per-request lists (see :class:`~repro.sim.stats.MetricsRecorder`).
         """
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
-        report = ServingReport(policy=policy)
+        report = ServingReport(policy=policy, record=record)
         if not ordered:
             return report
         kernel = DiscreteEventKernel()
@@ -559,7 +657,7 @@ class OnlineServingEngine:
                     lambda size: self.batch_latency(head_model, policy, size),
                 )
                 for r in rejected_now:
-                    report.rejected.append(
+                    report.record_rejection(
                         RejectedRequest(request=r, rejected_at_s=now)
                     )
                 # Remove by object identity: req_ids are caller-chosen
@@ -580,7 +678,7 @@ class OnlineServingEngine:
             nonlocal busy, last_finish
             batch, dispatched = events[0].payload
             for r in batch:
-                report.completed.append(
+                report.record_completion(
                     CompletedRequest(
                         request=r,
                         dispatch_s=dispatched,

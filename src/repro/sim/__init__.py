@@ -14,12 +14,29 @@ hand-rolled event loops.
   :class:`BusyWindow` exact busy-time integration);
 * :mod:`~repro.sim.failures` — :class:`FailureTrace` outage schedules
   (scripted or seeded MTBF/MTTR) that inject ``FAIL``/``RECOVER``
-  events no pre-kernel loop could express.
+  events no pre-kernel loop could express;
+* :mod:`~repro.sim.stats` — the streaming statistics core
+  (:class:`MetricsRecorder`, :class:`QuantileSketch`,
+  :class:`WindowRing`) every report layer accumulates through, with
+  exact ``record="full"`` and flat-memory ``record="streaming"`` modes;
+* :mod:`~repro.sim.sweep` — the multiprocess sweep runner
+  (:func:`run_sweep`) that fans independent seeded configurations
+  across cores with results identical to serial execution.
 """
 
 from repro.sim.failures import FailureTrace, Outage
 from repro.sim.kernel import DiscreteEventKernel, Event, EventKind, SimClock
 from repro.sim.metrics import BusyWindow, nearest_rank, window_latencies
+from repro.sim.stats import (
+    MetricsRecorder,
+    P2Quantile,
+    QuantileSketch,
+    RecordingModeError,
+    StreamStats,
+    VersionedList,
+    WindowRing,
+)
+from repro.sim.sweep import SweepResult, run_sweep
 
 __all__ = [
     "SimClock",
@@ -31,4 +48,13 @@ __all__ = [
     "BusyWindow",
     "Outage",
     "FailureTrace",
+    "RecordingModeError",
+    "VersionedList",
+    "P2Quantile",
+    "QuantileSketch",
+    "StreamStats",
+    "WindowRing",
+    "MetricsRecorder",
+    "SweepResult",
+    "run_sweep",
 ]

@@ -148,7 +148,15 @@ class DiscreteEventKernel:
     orders events that existed when the instant began.
     """
 
-    __slots__ = ("clock", "processed", "_heap", "_stream", "_seq")
+    __slots__ = (
+        "clock",
+        "processed",
+        "_heap",
+        "_stream",
+        "_seq",
+        "_lazy",
+        "_lazy_prev",
+    )
 
     def __init__(self) -> None:
         self.clock = SimClock()
@@ -157,6 +165,8 @@ class DiscreteEventKernel:
         self._heap: List[Event] = []
         self._stream: Deque[Event] = deque()
         self._seq = 0
+        self._lazy = None
+        self._lazy_prev = None
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -194,6 +204,48 @@ class DiscreteEventKernel:
                 )
             prev = key
             stream.append(ev)
+
+    def preload_stream(self, events: Iterable[Event]) -> None:
+        """Attach a *lazy* time-ordered bulk stream.
+
+        Like :meth:`preload`, but the iterable is consumed one event at a
+        time as the run advances instead of being materialized into the
+        stream deque upfront — the move that keeps a 10M-request run's
+        memory flat: arrivals exist only between being generated and
+        being served.  Ordering is validated at pull time (the run raises
+        mid-flight on a misordered source, same :class:`ValueError`
+        contract as :meth:`preload`).
+
+        Events pulled from the lazy stream sort after any still-queued
+        eager ``preload`` events; interleaving both is supported but the
+        combined sequence must still be globally non-decreasing.
+
+        Args:
+            events: An iterator/generator of events sorted by
+                ``(time, kind, entity)``.
+
+        Raises:
+            RuntimeError: If a lazy stream is already attached.
+        """
+        if self._lazy is not None:
+            raise RuntimeError("a lazy event stream is already attached")
+        self._lazy = iter(events)
+        self._lazy_prev = self._stream[-1][:3] if self._stream else None
+
+    def _refill(self) -> None:
+        """Pull the next lazy event into the (empty) stream deque."""
+        try:
+            ev = next(self._lazy)
+        except StopIteration:
+            self._lazy = None
+            return
+        key = ev[:3]
+        if self._lazy_prev is not None and key < self._lazy_prev:
+            raise ValueError(
+                f"lazy stream events out of order: {key} after {self._lazy_prev}"
+            )
+        self._lazy_prev = key
+        self._stream.append(ev)
 
     def schedule(
         self, time: float, kind: int, entity: int = 0, payload: Any = None
@@ -239,7 +291,11 @@ class DiscreteEventKernel:
         heap, stream = self._heap, self._stream
         clock = self.clock
         heappop = heapq.heappop
-        while heap or stream:
+        while True:
+            if not stream and self._lazy is not None:
+                self._refill()
+            if not (heap or stream):
+                break
             if stream and (not heap or stream[0] < heap[0]):
                 first = stream.popleft()
             else:
@@ -250,6 +306,8 @@ class DiscreteEventKernel:
             # minimum lives at one of the two heads; if it no longer
             # matches, nothing later can.
             while True:
+                if not stream and self._lazy is not None:
+                    self._refill()
                 if stream and (not heap or stream[0] < heap[0]):
                     nxt = stream[0]
                     if nxt.time == t and nxt.kind == kind:

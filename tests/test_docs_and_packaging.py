@@ -149,6 +149,8 @@ class TestDocs:
             "repro.sim.kernel",
             "repro.sim.metrics",
             "repro.sim.failures",
+            "repro.sim.stats",
+            "repro.sim.sweep",
         ):
             m = importlib.import_module(mod)
             assert m.__doc__ and len(m.__doc__) > 40, mod

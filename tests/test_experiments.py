@@ -30,6 +30,7 @@ class TestRegistry:
             "serve-autoscale",
             "serve-hetero",
             "serve-chaos",
+            "serve-scale",
         }
 
     def test_unknown_id_raises(self):

@@ -494,3 +494,76 @@ class TestHeteroElastic:
         expect = STEPSTONE_NODE.energy_j(rep.node_seconds, rep.busy_seconds)
         assert rep.energy_j() == pytest.approx(expect)
         assert rep.mean_hourly_cost == pytest.approx(STEPSTONE_NODE.hourly_cost)
+
+
+class TestHeteroStreamingRecord:
+    """Streaming recording on the heterogeneous fleet: run-level and
+    per-pool recorder chains must reproduce the full-mode run."""
+
+    @staticmethod
+    def _pools():
+        return {
+            "stepstone": NodePool(
+                spec=STEPSTONE_NODE, min_nodes=1, max_nodes=6, initial_nodes=2
+            ),
+            "gpu": NodePool(spec=GPU_NODE, min_nodes=0, max_nodes=2, initial_nodes=0),
+        }
+
+    @staticmethod
+    def _policy(eng):
+        from repro.autoscale import TargetUtilizationPolicy
+
+        mix = {"BERT": 0.9, "DLRM": 0.1}
+        return PerPoolPolicy(
+            {
+                "stepstone": TargetUtilizationPolicy(
+                    node_capacity_rps(eng, mix, "hybrid", spec=STEPSTONE_NODE)
+                ),
+                "gpu": TargetUtilizationPolicy(
+                    node_capacity_rps(eng, mix, "hybrid", spec=GPU_NODE)
+                ),
+            }
+        )
+
+    def test_streaming_matches_full(self, eng):
+        reqs = _mix_stream(duration_s=10.0, rate=300.0)
+        runs = {}
+        for mode in ("full", "streaming"):
+            cluster = HeteroElasticCluster(
+                self._pools(),
+                engine=eng,
+                models=["BERT", "DLRM"],
+                control_interval_s=0.5,
+                record=mode,
+            )
+            runs[mode] = cluster.run(reqs, self._policy(eng))
+        full, stream = runs["full"], runs["streaming"]
+        assert stream.served == full.served
+        assert stream.rejected_count == full.rejected_count
+        assert stream.dropped_count == full.dropped_count
+        assert stream.cost_usd == pytest.approx(full.cost_usd)
+        assert stream.pool_timeline == full.pool_timeline
+        assert [(s.t, s.desired) for s in stream.samples] == [
+            (s.t, s.desired) for s in full.samples
+        ]
+        assert sorted(stream.pool_stats) == ["gpu", "stepstone"]
+        assert (
+            sum(r.completed_count for r in stream.pool_stats.values())
+            == stream.served
+        )
+
+    def test_streaming_refuses_per_request_access(self, eng):
+        from repro.sim import RecordingModeError
+
+        cluster = HeteroElasticCluster(
+            self._pools(),
+            engine=eng,
+            models=["BERT", "DLRM"],
+            control_interval_s=0.5,
+            record="streaming",
+        )
+        rep = cluster.run(_mix_stream(duration_s=3.0, rate=200.0), self._policy(eng))
+        with pytest.raises(RecordingModeError):
+            rep.latencies_s
+        assert rep.record == "streaming"
+        assert rep.served > 0

@@ -1,0 +1,383 @@
+"""Tests for the streaming statistics core (``repro.sim.stats``) and the
+lazy kernel stream: sketch-vs-exact cross-checks, the window ring, the
+recorder's two modes, the versioned-list cache-invalidation fix, and the
+``preload_stream`` ordering contract."""
+
+import math
+import random
+
+import pytest
+
+from repro.serving.engine import (
+    CompletedRequest,
+    OnlineServingEngine,
+    Request,
+    ServingReport,
+)
+from repro.sim import (
+    DiscreteEventKernel,
+    Event,
+    EventKind,
+    MetricsRecorder,
+    P2Quantile,
+    QuantileSketch,
+    RecordingModeError,
+    StreamStats,
+    VersionedList,
+    WindowRing,
+    nearest_rank,
+)
+
+
+def _completion(latency_s, finish_s=0.0, req_id=0, queue_s=0.0, batch=1):
+    finish_s = max(finish_s, latency_s)  # arrivals cannot be negative
+    r = Request(req_id=req_id, model="BERT", arrival_s=finish_s - latency_s)
+    return CompletedRequest(
+        request=r,
+        dispatch_s=finish_s - latency_s + queue_s,
+        finish_s=finish_s,
+        batch=batch,
+    )
+
+
+class TestVersionedList:
+    def test_every_mutation_bumps_version(self):
+        vl = VersionedList([1.0])
+        seen = {vl.version}
+
+        def bumped():
+            assert vl.version not in seen, "mutation did not bump version"
+            seen.add(vl.version)
+
+        vl.append(2.0); bumped()
+        vl.extend([3.0, 4.0]); bumped()
+        vl.insert(0, 0.5); bumped()
+        vl[0] = 0.25; bumped()
+        vl += [5.0]; bumped()
+        vl.sort(); bumped()
+        vl.remove(5.0); bumped()
+        vl.pop(); bumped()
+        del vl[0]; bumped()
+        vl.clear(); bumped()
+
+    def test_reads_do_not_bump(self):
+        vl = VersionedList([3.0, 1.0, 2.0])
+        v = vl.version
+        _ = vl[0], len(vl), list(vl), sorted(vl), 1.0 in vl
+        assert vl.version == v
+
+
+class TestQuantileSketch:
+    def test_exact_regime_matches_nearest_rank(self):
+        rng = random.Random(7)
+        xs = [rng.expovariate(3.0) for _ in range(200)]
+        sk = QuantileSketch(exact_limit=512)
+        for x in xs:
+            sk.add(x)
+        assert sk.is_exact
+        for q in (25, 50, 75, 90, 95, 99, 100):
+            assert sk.quantile(q) == nearest_rank(sorted(xs), q)
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            lambda rng: rng.expovariate(2.0),
+            lambda rng: rng.lognormvariate(0.0, 0.7),
+        ],
+        ids=["expovariate", "lognormal"],
+    )
+    def test_sketch_within_two_percent_of_exact(self, dist):
+        """The documented tolerance: tracked percentiles of a 50k-sample
+        stream sit within 2% of the exact nearest-rank answer."""
+        rng = random.Random(42)
+        xs = [dist(rng) for _ in range(50_000)]
+        sk = QuantileSketch()
+        for x in xs:
+            sk.add(x)
+        assert not sk.is_exact
+        for q in (50, 90, 95, 99):
+            exact = nearest_rank(sorted(xs), q)
+            rel = abs(sk.quantile(q) - exact) / exact
+            assert rel < 0.02, f"p{q}: {rel:.4f} off"
+
+    def test_min_max_and_count(self):
+        sk = QuantileSketch(exact_limit=8)
+        for x in range(1000):
+            sk.add(float(x))
+        assert (sk.min, sk.max, sk.count) == (0.0, 999.0, 1000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(quantiles=[1.5])
+        with pytest.raises(ValueError):
+            QuantileSketch(exact_limit=4)
+        with pytest.raises(ValueError):
+            QuantileSketch().quantile(0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(QuantileSketch().quantile(50))
+
+    def test_p2_is_monotone_in_rank(self):
+        rng = random.Random(3)
+        sk = QuantileSketch(exact_limit=8)
+        for _ in range(10_000):
+            sk.add(rng.gauss(10.0, 2.0))
+        vals = [sk.quantile(q) for q in (10, 25, 50, 75, 90, 95, 99)]
+        assert vals == sorted(vals)
+
+
+class TestP2Quantile:
+    def test_seeded_from_sorted_reservoir(self):
+        seed = sorted(float(i) for i in range(64))
+        m = P2Quantile(0.5, seed)
+        assert abs(m.value - nearest_rank(seed, 50)) <= 1.0
+
+    def test_tracks_shifting_stream(self):
+        rng = random.Random(11)
+        seed = sorted(rng.uniform(0, 1) for _ in range(64))
+        m = P2Quantile(0.9, seed)
+        xs = [rng.uniform(0, 1) for _ in range(20_000)]
+        for x in xs:
+            m.add(x)
+        assert abs(m.value - 0.9) < 0.02
+
+
+class TestStreamStats:
+    def test_mean_total_and_percentiles(self):
+        st = StreamStats()
+        for x in (1.0, 2.0, 3.0, 4.0):
+            st.add(x)
+        assert st.count == 4
+        assert st.mean == pytest.approx(2.5)
+        assert st.min == 1.0 and st.max == 4.0
+        assert st.percentile(50) == nearest_rank([1.0, 2.0, 3.0, 4.0], 50)
+
+
+class TestWindowRing:
+    def test_exact_windows_merge_exactly(self):
+        ring = WindowRing()
+        xs0 = [0.5, 0.1, 0.9]
+        xs1 = [0.3, 0.7]
+        for x in xs0:
+            ring.add(x, 0.2)
+        ring.roll(1.0)
+        for x in xs1:
+            ring.add(x, 1.2)
+        ring.roll(2.0)
+        assert ring.window_percentile(99, 0.0, 1.0) == nearest_rank(sorted(xs0), 99)
+        assert ring.window_percentile(99, 1.0, 2.0) == nearest_rank(sorted(xs1), 99)
+        assert ring.window_percentile(50, 0.0, 2.0) == nearest_rank(sorted(xs0 + xs1), 50)
+        assert ring.window_count(0.0, 2.0) == 5
+
+    def test_open_window_is_queryable(self):
+        ring = WindowRing()
+        ring.add(0.4, 0.1)
+        assert ring.window_percentile(99, 0.0, 1.0) == 0.4
+        ring.roll(1.0)  # once closed, a disjoint later range sees nothing
+        assert math.isnan(ring.window_percentile(99, 5.0, 6.0))
+
+    def test_auto_roll_snaps_to_width_grid(self):
+        ring = WindowRing(window_s=1.0)
+        ring.add(0.1, 0.5)
+        ring.add(0.2, 7.3)  # jumps several widths: boundary at 7.0, not 8.3
+        assert ring.window_count(0.0, 1.0) == 1
+        assert ring.window_count(7.0, 8.0) == 1
+        assert ring._closed[-1].end_s == 7.0  # snapped to the width grid
+        assert ring._open.start_s == 7.0
+
+    def test_depth_bounds_memory(self):
+        ring = WindowRing(depth=4)
+        for i in range(32):
+            ring.add(float(i), float(i) + 0.5)
+            ring.roll(float(i + 1))
+        assert len(ring._closed) == 4
+        assert ring.window_count(0.0, 32.0) == 4  # older windows evicted
+
+    def test_spilled_window_estimate_stays_close(self):
+        rng = random.Random(5)
+        ring = WindowRing(exact_limit=128)
+        xs = [rng.expovariate(1.0) for _ in range(5_000)]
+        for x in xs:
+            ring.add(x, 0.5)
+        ring.roll(1.0)
+        exact = nearest_rank(sorted(xs), 95)
+        assert abs(ring.window_percentile(95, 0.0, 1.0) - exact) / exact < 0.05
+
+
+class TestMetricsRecorder:
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown record mode"):
+            MetricsRecorder(record="ledger")
+
+    def test_full_mode_keeps_records(self):
+        rec = MetricsRecorder(record="full")
+        rec.record_completion(_completion(0.25, finish_s=1.0))
+        assert rec.completed_count == 1
+        assert rec.latencies_s == [0.25]
+        assert rec.percentile(99) == 0.25
+
+    def test_streaming_mode_refuses_per_request_access(self):
+        rec = MetricsRecorder(record="streaming")
+        rec.record_completion(_completion(0.25, finish_s=1.0))
+        assert rec.completed_count == 1
+        assert rec.percentile(50) == 0.25
+        for attr in ("completed", "rejected", "failed", "latencies_s"):
+            with pytest.raises(RecordingModeError, match="record='full'"):
+                getattr(rec, attr)
+
+    def test_modes_agree_on_aggregates(self):
+        rng = random.Random(9)
+        full = MetricsRecorder(record="full")
+        stream = MetricsRecorder(record="streaming")
+        t = 10.0
+        # 100 observations: under both the overall (512) and per-window
+        # (128) exact limits, so every answer must match bit-for-bit.
+        for i in range(100):
+            t += rng.expovariate(50.0)
+            c = _completion(rng.expovariate(8.0), finish_s=t, req_id=i)
+            full.record_completion(c)
+            stream.record_completion(c)
+        assert stream.completed_count == full.completed_count
+        assert stream.mean_latency_s == pytest.approx(full.mean_latency_s)
+        assert stream.mean_queue_s == pytest.approx(full.mean_queue_s)
+        assert stream.mean_batch == pytest.approx(full.mean_batch)
+        assert stream.percentile(99) == full.percentile(99)
+        # End strictly after the last finish: the window query's end is
+        # exclusive, and both modes must see all 100 completions.
+        assert stream.window_percentile(99, 0.0, t + 1.0) == (
+            full.window_percentile(99, 0.0, t + 1.0)
+        )
+
+    def test_parent_chaining_feeds_every_level(self):
+        run = MetricsRecorder(record="streaming")
+        pool = MetricsRecorder(record="streaming", parent=run)
+        node = MetricsRecorder(record="streaming", parent=pool)
+        node.record_completion(_completion(0.5, finish_s=1.0))
+        node.record_rejection(object())
+        node.record_failure(object())
+        for rec in (node, pool, run):
+            assert (rec.completed_count, rec.rejected_count, rec.failed_count) == (
+                1,
+                1,
+                1,
+            )
+        assert run.percentile(50) == 0.5
+
+
+class TestSortedLatencyCacheInvalidation:
+    """The satellite fix: percentile memos key on list *versions*, not
+    lengths, so a same-length in-place mutation can never serve a stale
+    sorted-latency cache."""
+
+    def test_serving_report_same_length_mutation_refreshes(self):
+        rep = ServingReport(policy="hybrid")
+        rep.record_completion(_completion(0.1, finish_s=1.0, req_id=0))
+        rep.record_completion(_completion(0.2, finish_s=2.0, req_id=1))
+        assert rep.latency_percentile(99) == pytest.approx(0.2)
+        # Same length, different contents — the pre-fix len-keyed memo
+        # returned the stale 0.2 here.
+        rep.completed[1] = _completion(0.9, finish_s=2.0, req_id=1)
+        assert rep.latency_percentile(99) == pytest.approx(0.9)
+
+    def test_cluster_report_same_length_mutation_refreshes(self):
+        from repro.cluster import Cluster
+        from repro.serving import poisson_requests
+
+        eng = OnlineServingEngine()
+        rep = Cluster(2, engine=eng).run(
+            poisson_requests("BERT", 200.0, 1.0, seed=1)
+        )
+        before = rep.latency_percentile(99)
+        node = max(rep.node_reports, key=lambda r: r.served)
+        assert node.served > 0
+        bumped = max(rep.latencies_s) * 10.0
+        node.completed[0] = _completion(bumped, finish_s=1.0)
+        assert rep.latency_percentile(100) == pytest.approx(bumped)
+        assert rep.latency_percentile(100) != before
+
+
+class TestServingReportModes:
+    def test_streaming_report_counts_without_lists(self):
+        rep = ServingReport(policy="hybrid", record="streaming")
+        rep.record_completion(_completion(0.3, finish_s=1.0))
+        assert rep.served == 1
+        assert rep.p99_s == pytest.approx(0.3)
+        with pytest.raises(RecordingModeError):
+            rep.completed
+        with pytest.raises(RecordingModeError):
+            rep.latencies_s
+
+    def test_engine_run_streaming_matches_full_counts(self):
+        from repro.serving import poisson_requests
+
+        eng = OnlineServingEngine()
+        reqs = poisson_requests("BERT", 300.0, 2.0, seed=5, slo_s=1.0)
+        full = eng.run(reqs, policy="hybrid")
+        stream = eng.run(reqs, policy="hybrid", record="streaming")
+        assert stream.served == full.served
+        assert stream.rejected_count == full.rejected_count
+        assert stream.throughput_rps == pytest.approx(full.throughput_rps)
+        if full.served:
+            assert stream.p99_s == pytest.approx(full.p99_s)
+
+
+class TestLazyKernelStream:
+    @staticmethod
+    def _events(n, seed=0):
+        rng = random.Random(seed)
+        t = 0.0
+        out = []
+        for i in range(n):
+            t += rng.expovariate(10.0)
+            out.append(Event(t, EventKind.ARRIVAL, i, payload=i))
+        return out
+
+    def test_lazy_stream_matches_eager_preload(self):
+        events = self._events(500)
+        seen_eager, seen_lazy = [], []
+
+        k1 = DiscreteEventKernel()
+        k1.preload(events)
+        k1.run({EventKind.ARRIVAL: lambda t, evs: seen_eager.extend(
+            (t, e.payload) for e in evs)})
+
+        k2 = DiscreteEventKernel()
+        k2.preload_stream(iter(events))
+        k2.run({EventKind.ARRIVAL: lambda t, evs: seen_lazy.extend(
+            (t, e.payload) for e in evs)})
+
+        assert seen_lazy == seen_eager
+        assert k2.processed == k1.processed
+
+    def test_lazy_stream_interleaves_with_scheduled_events(self):
+        events = self._events(200, seed=3)
+        order = []
+        kernel = DiscreteEventKernel()
+        kernel.preload_stream(iter(events))
+        kernel.schedule(events[50].time, EventKind.CONTROL, payload="tick")
+        kernel.run(
+            {
+                EventKind.ARRIVAL: lambda t, evs: order.extend(
+                    e.payload for e in evs
+                ),
+                EventKind.CONTROL: lambda t, evs: order.append("tick"),
+            }
+        )
+        assert order.index("tick") == 51  # ARRIVAL sorts before CONTROL
+        assert [o for o in order if o != "tick"] == list(range(200))
+
+    def test_out_of_order_lazy_stream_raises_mid_run(self):
+        bad = [
+            Event(1.0, EventKind.ARRIVAL, 0),
+            Event(0.5, EventKind.ARRIVAL, 1),
+        ]
+        kernel = DiscreteEventKernel()
+        kernel.preload_stream(iter(bad))
+        with pytest.raises(ValueError, match="out of order"):
+            kernel.run({})
+
+    def test_double_attach_raises(self):
+        kernel = DiscreteEventKernel()
+        kernel.preload_stream(iter([]))
+        with pytest.raises(RuntimeError, match="already attached"):
+            kernel.preload_stream(iter([]))
