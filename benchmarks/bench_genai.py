@@ -1,0 +1,61 @@
+"""Generative-serving harness: token throughput of the decode loop.
+
+``repro.genai`` stacks per-token DECODE_STEP events on the shared sim
+kernel, so its hot path is the decode boundary: release finished
+sequences, admit joiners, reserve KV growth, price one GEMM.  The
+``decode_10k`` entry drives 10k sequences of decode-heavy traffic
+(fixed 16-token prompts so the latency memo stays warm, 32 output
+tokens each) through a ContinuousBatcher and records emitted tokens
+and kernel events per wall-second; ``serve-genai`` regenerates the
+experiment.  The recorded metrics land in ``BENCH_genai.json`` — the
+repo's perf trajectory for the generative layer.
+"""
+
+from repro.genai import ContinuousBatcher, GenerativeEngine, gen_requests
+from repro.serving import OnlineServingEngine
+
+
+def decode_heavy_stream():
+    """10k sequences, fixed lengths: prompt 16, output 32 tokens."""
+    return gen_requests(
+        rate_rps=200.0,
+        duration_s=50.0,
+        prompt_range=(16, 16),
+        output_range=(32, 32),
+        seed=42,
+    )
+
+
+def test_serve_genai_experiment(run_bench):
+    run_bench("serve-genai")
+
+
+def test_decode_10k_tokens_per_sec(benchmark, perf_record):
+    """The decode loop at 10k sequences: tokens/s and events/s of the wall."""
+    stream = decode_heavy_stream()
+    shared = OnlineServingEngine()
+    eng = GenerativeEngine(
+        scheduler=ContinuousBatcher(), max_batch=8, engine=shared
+    )
+    # Warm the latency memo so the timing measures the event loop, not
+    # first-touch GEMM math.
+    eng.run(stream[:200], record="streaming")
+
+    def run():
+        return eng.run(stream, record="streaming")
+
+    rep = benchmark.pedantic(run, rounds=2, iterations=1)
+    wall = float(benchmark.stats.stats.mean)
+    perf_record(
+        "decode_10k",
+        benchmark,
+        sequences=len(stream),
+        tokens=rep.tokens_out,
+        events=rep.events_processed,
+        tokens_per_wall_sec=round(rep.tokens_out / wall),
+        events_per_wall_sec=round(rep.events_processed / wall),
+        sim_tokens_per_s=round(rep.tokens_per_s, 1),
+    )
+    assert rep.served == len(stream)
+    assert rep.tokens_out == 32 * len(stream)
+    assert rep.events_processed > len(stream)  # arrivals + phases

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Generative serving walkthrough: a chat day on one StepStone socket.
+
+Generates a diurnal stream of chat-style generation requests (short
+prompts, mixed output lengths), serves it twice on a single
+StepStone-class node — once with classic static batching, once with
+iteration-level continuous batching — and prints TTFT, inter-token
+latency, and token goodput side by side.  Then drives the KV-cache
+budget to saturation to show admissions queue (and preempt) instead of
+overflowing.
+
+Run:  PYTHONPATH=src python examples/genai_serving.py
+"""
+
+from repro.autoscale import DiurnalTrace
+from repro.genai import (
+    GPT2_XL,
+    ContinuousBatcher,
+    GenerativeEngine,
+    GenRequest,
+    StaticBatcher,
+    trace_gen_requests,
+)
+from repro.serving import STEPSTONE_NODE, OnlineServingEngine
+
+SEED = 11
+
+
+def main() -> None:
+    shared = OnlineServingEngine()
+
+    # --- The traffic: a compressed "day" of chat requests. ---------------
+    trace = DiurnalTrace(trough_rps=0.2, peak_rps=1.0, period_s=60.0)
+    stream = trace_gen_requests(
+        trace,
+        duration_s=120.0,
+        prompt_range=(16, 48),
+        output_range=(8, 96),
+        seed=SEED,
+    )
+    print(
+        f"diurnal chat trace {trace.trough_rps:.1f}->{trace.peak_rps:.1f} req/s: "
+        f"{len(stream)} requests over 120 s, prompts 16-48, outputs 8-96 tokens"
+    )
+
+    # --- One node, what the model costs it. ------------------------------
+    eng = GenerativeEngine(config=GPT2_XL, spec=STEPSTONE_NODE, engine=shared)
+    print(
+        f"{GPT2_XL.name} on {STEPSTONE_NODE.name}: "
+        f"{GPT2_XL.weight_bytes / 1e9:.1f} GB of weights, "
+        f"{GPT2_XL.kv_bytes_per_token / 1e3:.0f} KB of KV per token, "
+        f"{eng.kv_capacity_tokens} cached tokens fit beside the weights"
+    )
+    print(
+        f"one decode step: {eng.gemm_seconds(1) * 1e3:.1f} ms at batch 1, "
+        f"{eng.gemm_seconds(8) * 1e3:.1f} ms at batch 8 — "
+        "wider batches amortize the weight stream"
+    )
+
+    # --- Serve the same stream under both batching disciplines. ----------
+    print()
+    for sched in (StaticBatcher(), ContinuousBatcher()):
+        rep = GenerativeEngine(
+            scheduler=sched, max_batch=8, engine=shared
+        ).run(stream)
+        print(f"  {rep.summary()}")
+    print(
+        "  -> continuous batching lets short sequences hand their slot to "
+        "arrivals:\n     TTFT tracks prefill time instead of batch-drain time."
+    )
+
+    # --- KV pressure: a burst against a tiny cache budget. ---------------
+    burst = [GenRequest(i, 0.05 * i, prompt_tokens=32, max_new_tokens=32)
+             for i in range(20)]
+    rep = GenerativeEngine(
+        max_batch=8, kv_capacity_tokens=200, engine=shared
+    ).run(burst)
+    print(
+        f"\n20-request burst vs a 200-token KV budget: "
+        f"high-water {rep.kv_high_water_tokens}/{rep.kv_capacity_tokens} tokens, "
+        f"peak queue {rep.peak_waiting}, {rep.preemptions} preemptions, "
+        f"{rep.served}/{len(burst)} served — the wall queues, it never overflows"
+    )
+    assert rep.kv_high_water_tokens <= rep.kv_capacity_tokens
+    assert rep.served == len(burst)
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ from repro.experiments import (
     serve_autoscale,
     serve_chaos,
     serve_cluster,
+    serve_genai,
     serve_hetero,
     serve_online,
     serve_scale,
@@ -46,6 +47,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "serve": serve_online.run,
     "serve-cluster": serve_cluster.run,
     "serve-autoscale": serve_autoscale.run,
+    "serve-genai": serve_genai.run,
     "serve-hetero": serve_hetero.run,
     "serve-scale": serve_scale.run,
     "serve-chaos": serve_chaos.run,

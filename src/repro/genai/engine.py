@@ -1,0 +1,380 @@
+"""The generative serving engine: prefill/decode phases on the sim kernel.
+
+One request used to be one FINISH event; a generative sequence is a
+*lifecycle*.  The engine splits service into the two phases whose cost
+structures the paper's thesis separates:
+
+* **PREFILL** — one batched GEMM pass over the admitted sequences'
+  prompts (activation dimension = total prompt tokens, the compute-dense
+  regime where GPUs shine), plus per-sequence quadratic attention.
+  Completion emits each sequence's first token (the TTFT instant) and
+  merges it into the running batch;
+* **DECODE_STEP** — one token boundary for the whole running batch: the
+  four decoder GEMMs at activation dimension = batch width (the
+  bandwidth-bound GEMV regime where StepStone wins), KV-cached linear
+  attention over each sequence's grown context, and sampling.  Every
+  boundary emits one token per active sequence; finished sequences leave.
+
+Both phases are priced by the **existing** backend latency models: the
+engine registers the config's one-token step spec in an
+:class:`~repro.serving.engine.OnlineServingEngine` and asks
+``batch_latency`` for activation dimension ``n`` — StepStone chunked PIM,
+calibrated CPU, or GPU roofline per :class:`~repro.serving.nodespec.NodeSpec`,
+with host-resident ops charged to the node's CPU.
+
+KV-cache accounting threads through every transition (the
+:class:`~repro.genai.kvcache.KVCacheBudget` invariant): admission reserves
+``prompt + emitted + 1`` tokens, each decode boundary reserves one more per
+active sequence, completion releases everything.  A boundary that cannot
+grow preempts the youngest running sequence back to the queue front
+(recompute semantics: cache dropped, emitted tokens kept, re-admission
+re-prefills ``prompt + emitted`` and the ITL stream shows the stall);
+an arrival whose worst-case footprint exceeds the whole budget is rejected
+outright — queueing it could only ever deadlock or livelock the cache.
+
+A prefill takes priority over the next decode boundary (joiners stall the
+running batch briefly — the realistic ITL jitter of continuous batching);
+the kernel's total order makes arrivals at a boundary visible to that
+boundary's join decision, and PREFILL merge visible to a same-instant
+DECODE_STEP.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from repro.genai.kvcache import KVCacheBudget
+from repro.genai.model import GPT2_XL, GenModelConfig
+from repro.genai.report import GenCompletion, GenRejection, GenReport
+from repro.genai.schedulers import ContinuousBatcher
+from repro.genai.workload import GenRequest
+from repro.models.layers import CpuOp, attention_cpu_ops, decode_attention_cpu_ops
+from repro.serving.engine import OnlineServingEngine
+from repro.serving.nodespec import STEPSTONE_NODE, NodeSpec
+from repro.sim.kernel import DiscreteEventKernel, Event, EventKind
+
+__all__ = ["SeqState", "GenerativeEngine"]
+
+
+class SeqState:
+    """One in-flight sequence: emitted-token and reservation bookkeeping."""
+
+    __slots__ = (
+        "request",
+        "emitted",
+        "first_token_s",
+        "last_token_s",
+        "reserved",
+        "preemptions",
+        "done",
+    )
+
+    def __init__(self, request: GenRequest) -> None:
+        self.request = request
+        #: Tokens emitted so far (the first lands at prefill completion).
+        self.emitted = 0
+        self.first_token_s: Optional[float] = None
+        self.last_token_s = 0.0
+        #: KV tokens currently reserved for this sequence.
+        self.reserved = 0
+        self.preemptions = 0
+        self.done = False
+
+    @property
+    def admit_tokens(self) -> int:
+        """KV reservation an admission takes: the context to (re)prefill
+        (``prompt + emitted``) plus the slot for the token it emits."""
+        return self.request.prompt_tokens + self.emitted + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"SeqState(req={self.request.req_id}, emitted={self.emitted}, "
+            f"reserved={self.reserved})"
+        )
+
+
+class GenerativeEngine:
+    """Generative LLM serving on one node: phases, KV budget, schedulers."""
+
+    def __init__(
+        self,
+        config: GenModelConfig = GPT2_XL,
+        spec: NodeSpec = STEPSTONE_NODE,
+        scheduler=None,
+        policy: str = "hybrid",
+        max_batch: int = 8,
+        engine: Optional[OnlineServingEngine] = None,
+        kv_capacity_tokens: Optional[int] = None,
+    ) -> None:
+        """Build an engine for one (model, node, scheduler) combination.
+
+        Args:
+            config: Decoder geometry to serve.
+            spec: Node hardware — selects the GEMM latency model and,
+                with the config's weights, sizes the KV budget.
+            scheduler: A :class:`~repro.genai.schedulers.StaticBatcher`
+                or :class:`~repro.genai.schedulers.ContinuousBatcher`
+                (default: continuous).
+            policy: StepStone dispatch policy for the GEMMs
+                (``cpu``/``pim``/``hybrid``; ignored off-StepStone).
+            max_batch: Decode batch slots.
+            engine: A shared :class:`OnlineServingEngine` whose latency
+                memo this engine reuses (one is built if omitted).
+            kv_capacity_tokens: Explicit KV budget override in tokens;
+                default sizes it from ``spec.memory_bytes`` net of the
+                hosted weights.
+
+        Raises:
+            ValueError: On a non-positive ``max_batch``, or (at default
+                sizing) a node too small to host the weights.
+        """
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.config = config
+        self.spec = spec
+        self.scheduler = scheduler if scheduler is not None else ContinuousBatcher()
+        self.policy = policy
+        self.max_batch = max_batch
+        self.engine = engine if engine is not None else OnlineServingEngine()
+        self.engine.models[config.step_key] = config.step_spec()
+        self.kv_capacity_tokens = (
+            kv_capacity_tokens
+            if kv_capacity_tokens is not None
+            else KVCacheBudget.for_node(spec, config).capacity_tokens
+        )
+        if self.spec.backend == "cpu" and self.spec.cpu is not None:
+            self._host_cfg = self.spec.cpu
+        else:
+            self._host_cfg = self.engine.server.cpu.config
+        #: Per-context-length prefill attention seconds (pure, memoized).
+        self._prefill_attn: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Phase pricing (existing backend latency models underneath)
+    # ------------------------------------------------------------------ #
+
+    def gemm_seconds(self, n_tokens: int) -> float:
+        """One decoder pass at activation dimension ``n_tokens`` on this
+        node — the shared price of both phases (decode: batch width;
+        prefill: total prompt tokens)."""
+        return self.engine.batch_latency(
+            self.config.step_key, self.policy, n_tokens, spec=self.spec
+        )
+
+    def _prefill_attn_seconds(self, context: int) -> float:
+        """Quadratic prompt-pass attention for one sequence of ``context``."""
+        hit = self._prefill_attn.get(context)
+        if hit is None:
+            cfg = self.config
+            hit = sum(
+                op.seconds(self._host_cfg)
+                for op in attention_cpu_ops(
+                    "prefill",
+                    cfg.blocks,
+                    1,
+                    cfg.heads,
+                    context,
+                    cfg.head_dim,
+                    cfg.d_model,
+                )
+            )
+            self._prefill_attn[context] = hit
+        return hit
+
+    def _sampling_seconds(self, n_tokens: int) -> float:
+        cfg = self.config
+        return CpuOp(
+            "sampling", 2.0 * n_tokens * cfg.vocab, 4.0 * n_tokens * cfg.vocab * 2
+        ).seconds(self._host_cfg)
+
+    def prefill_seconds(self, group: List[SeqState]) -> float:
+        """Service time of one batched prompt pass over ``group``."""
+        total = sum(s.request.prompt_tokens + s.emitted for s in group)
+        t = self.gemm_seconds(max(1, total))
+        for s in group:
+            t += self._prefill_attn_seconds(s.request.prompt_tokens + s.emitted)
+        return t + self._sampling_seconds(len(group))
+
+    def decode_seconds(self, charged_width: int, active: List[SeqState]) -> float:
+        """Service time of one token boundary.
+
+        Args:
+            charged_width: GEMM activation dimension — the live width
+                under continuous batching, the admitted (padded) width
+                under static.
+            active: Sequences actually emitting (attention + sampling
+                are charged for these only).
+        """
+        cfg = self.config
+        t = self.gemm_seconds(charged_width)
+        total_ctx = sum(s.request.prompt_tokens + s.emitted + 1 for s in active)
+        t += sum(
+            op.seconds(self._host_cfg)
+            for op in decode_attention_cpu_ops(
+                "decode",
+                cfg.blocks,
+                cfg.heads,
+                cfg.head_dim,
+                cfg.d_model,
+                len(active),
+                total_ctx,
+            )
+        )
+        return t + self._sampling_seconds(len(active))
+
+    # ------------------------------------------------------------------ #
+    # The run loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, requests: Iterable[GenRequest], record: str = "full") -> GenReport:
+        """Serve an arrival stream; return the TTFT/ITL/goodput report.
+
+        Args:
+            requests: Generation requests in any order (sorted here).
+            record: ``"full"`` or ``"streaming"`` (see
+                :class:`~repro.genai.report.GenReport`).
+
+        Returns:
+            The finished report, including KV high-water and peak queue
+            depth — identical across runs with identical inputs (the
+            engine draws no randomness).
+        """
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+        report = GenReport(self.scheduler.name, record=record)
+        kv = KVCacheBudget(self.kv_capacity_tokens)
+        report.kv_capacity_tokens = kv.capacity_tokens
+        if not ordered:
+            return report
+        kernel = DiscreteEventKernel()
+        kernel.preload(
+            Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
+            for i, r in enumerate(ordered)
+        )
+        waiting: Deque[SeqState] = deque()
+        running: List[SeqState] = []
+        busy = False
+        width = 0  # static: the admitted (charged) batch width
+
+        def complete(s: SeqState, now: float) -> None:
+            kv.release(s.reserved)
+            s.reserved = 0
+            s.done = True
+            report.record_completion(
+                GenCompletion(
+                    request=s.request,
+                    first_token_s=s.first_token_s,
+                    finish_s=now,
+                    tokens_out=s.emitted,
+                    preemptions=s.preemptions,
+                )
+            )
+
+        def maybe_start(now: float) -> None:
+            # One phase in flight at a time; joins happen at phase
+            # boundaries only.  Prefill-priority: waiting sequences with
+            # a free slot stall the running batch for their prompt pass.
+            nonlocal busy, width
+            if busy:
+                return
+            joiners = self.scheduler.select(waiting, running, self.max_batch, kv)
+            if joiners:
+                for s in joiners:
+                    head = waiting.popleft()
+                    assert head is s  # strict-FIFO prefix by construction
+                    kv.reserve(s.admit_tokens)
+                    s.reserved = s.admit_tokens
+                busy = True
+                kernel.schedule(
+                    now + self.prefill_seconds(joiners),
+                    EventKind.PREFILL,
+                    payload=joiners,
+                )
+            elif running:
+                # Each active sequence caches one more token this step;
+                # preempt youngest-first until the growth fits.  The
+                # arrival-time guard (worst-case footprint <= capacity)
+                # means a lone survivor always fits, so this never
+                # empties the batch.
+                while not kv.fits(len(running)):
+                    victim = running.pop()
+                    kv.release(victim.reserved)
+                    victim.reserved = 0
+                    victim.preemptions += 1
+                    report.preemptions += 1
+                    waiting.appendleft(victim)
+                    if len(waiting) > report.peak_waiting:
+                        report.peak_waiting = len(waiting)
+                kv.reserve(len(running))
+                for s in running:
+                    s.reserved += 1
+                charged = width if self.scheduler.fixed_width else len(running)
+                busy = True
+                kernel.schedule(
+                    now + self.decode_seconds(max(1, charged), running),
+                    EventKind.DECODE_STEP,
+                    payload=list(running),
+                )
+
+        def on_arrivals(now: float, events: List[Event]) -> None:
+            for ev in events:
+                r: GenRequest = ev.payload
+                if r.total_tokens > kv.capacity_tokens:
+                    # Could never run: even alone it would overflow the
+                    # cache (or thrash forever under preemption).
+                    report.record_rejection(GenRejection(r, rejected_at_s=now))
+                    continue
+                waiting.append(SeqState(r))
+            if len(waiting) > report.peak_waiting:
+                report.peak_waiting = len(waiting)
+            maybe_start(now)
+
+        def on_prefill(now: float, events: List[Event]) -> None:
+            nonlocal busy, width
+            group: List[SeqState] = events[0].payload
+            fresh_batch = not running
+            for s in group:
+                s.emitted += 1
+                if s.first_token_s is None:
+                    s.first_token_s = now  # TTFT: the first token streams
+                else:
+                    # A resumed (preempted) sequence: its next token
+                    # lands here, and the gap is real ITL — the stall
+                    # preemption cost it.
+                    report.record_itl(now - s.last_token_s)
+                s.last_token_s = now
+                if s.emitted >= s.request.max_new_tokens:
+                    complete(s, now)
+                else:
+                    running.append(s)
+            if self.scheduler.fixed_width and fresh_batch:
+                width = len(running)
+            busy = False
+            maybe_start(now)
+
+        def on_decode(now: float, events: List[Event]) -> None:
+            nonlocal busy
+            finished = False
+            for s in events[0].payload:
+                s.emitted += 1
+                report.record_itl(now - s.last_token_s)
+                s.last_token_s = now
+                if s.emitted >= s.request.max_new_tokens:
+                    complete(s, now)
+                    finished = True
+            if finished:
+                running[:] = [s for s in running if not s.done]
+            busy = False
+            maybe_start(now)
+
+        end = kernel.run(
+            {
+                EventKind.ARRIVAL: on_arrivals,
+                EventKind.PREFILL: on_prefill,
+                EventKind.DECODE_STEP: on_decode,
+            }
+        )
+        report.sim_end_s = end
+        report.kv_high_water_tokens = kv.high_water_tokens
+        report.events_processed = kernel.processed
+        return report

@@ -1,0 +1,119 @@
+"""The KV-cache budget: memory capacity as a bound on concurrency.
+
+Elsewhere in the repo :attr:`NodeSpec.memory_bytes` only decides *which
+models fit* a node.  Generative serving adds a second, dynamic claim on the
+same memory: every cached token of every in-flight sequence holds
+``2 x blocks x d_model x dtype_bytes`` of keys and values, so the memory
+left after hosting the weights bounds how many sequences can decode
+concurrently.  A :class:`KVCacheBudget` is that leftover, denominated in
+tokens:
+
+* the engine *reserves* tokens before the work that writes them is
+  scheduled and *releases* them when a sequence finishes or is preempted —
+  so ``used_tokens <= capacity_tokens`` holds at every event time, by
+  construction (the saturation test drives the budget to the wall and
+  observes queueing, never overflow);
+* an admission that does not fit waits in the queue; a decode step that
+  cannot grow preempts the youngest running sequence back to the queue
+  (vLLM-style recompute semantics: its cache is dropped, its emitted
+  tokens are kept, re-admission re-prefills prompt + emitted);
+* ``high_water_tokens`` records the run's peak claim — the number the
+  invariant tests assert against.
+
+This is why a 128 GB StepStone socket and a 12 GB GPU are *differently
+sized serving machines* even for the same model: after GPT2-XL's ~6 GB of
+weights the GPU's remaining device memory holds ~10k cached tokens while
+the buffered-DIMM node holds ~200k.
+"""
+
+from __future__ import annotations
+
+from repro.genai.model import GenModelConfig
+from repro.serving.nodespec import NodeSpec
+
+__all__ = ["KVCacheBudget"]
+
+
+class KVCacheBudget:
+    """Token-denominated KV-cache capacity with reserve/release accounting."""
+
+    __slots__ = ("capacity_tokens", "used_tokens", "high_water_tokens")
+
+    def __init__(self, capacity_tokens: int) -> None:
+        """Create an empty budget.
+
+        Args:
+            capacity_tokens: Cached tokens the node can hold (positive).
+
+        Raises:
+            ValueError: If the capacity is not positive.
+        """
+        if capacity_tokens <= 0:
+            raise ValueError("capacity_tokens must be positive")
+        self.capacity_tokens = int(capacity_tokens)
+        self.used_tokens = 0
+        self.high_water_tokens = 0
+
+    @classmethod
+    def for_node(cls, spec: NodeSpec, config: GenModelConfig) -> "KVCacheBudget":
+        """Size the budget from a node's memory net of hosted weights.
+
+        Args:
+            spec: The node hosting the model.
+            config: The decoder geometry (weights and per-token charge).
+
+        Returns:
+            A budget of ``(memory - weights) // kv_bytes_per_token``.
+
+        Raises:
+            ValueError: If the weights alone leave no room for cache.
+        """
+        free = spec.memory_bytes - config.weight_bytes
+        tokens = int(free // config.kv_bytes_per_token)
+        if tokens <= 0:
+            raise ValueError(
+                f"{config.name} weights ({config.weight_bytes / 1e9:.1f} GB) "
+                f"leave no KV room on {spec.name} "
+                f"({spec.memory_bytes / 1e9:.1f} GB)"
+            )
+        return cls(tokens)
+
+    def fits(self, tokens: int) -> bool:
+        """Whether ``tokens`` more cached tokens fit right now."""
+        return self.used_tokens + tokens <= self.capacity_tokens
+
+    def reserve(self, tokens: int) -> None:
+        """Claim ``tokens`` of cache; the caller must have checked ``fits``.
+
+        Raises:
+            RuntimeError: On overflow — an engine accounting bug, never a
+                workload condition (workloads queue instead).
+        """
+        if tokens < 0:
+            raise RuntimeError("cannot reserve a negative token count")
+        if not self.fits(tokens):
+            raise RuntimeError(
+                f"KV budget overflow: {self.used_tokens} + {tokens} > "
+                f"{self.capacity_tokens}"
+            )
+        self.used_tokens += tokens
+        if self.used_tokens > self.high_water_tokens:
+            self.high_water_tokens = self.used_tokens
+
+    def release(self, tokens: int) -> None:
+        """Return ``tokens`` of cache (a finished or preempted sequence).
+
+        Raises:
+            RuntimeError: If more is released than was reserved.
+        """
+        if tokens < 0 or tokens > self.used_tokens:
+            raise RuntimeError(
+                f"KV release of {tokens} exceeds reservation {self.used_tokens}"
+            )
+        self.used_tokens -= tokens
+
+    def __repr__(self) -> str:
+        return (
+            f"KVCacheBudget(used={self.used_tokens}/{self.capacity_tokens}, "
+            f"high_water={self.high_water_tokens})"
+        )

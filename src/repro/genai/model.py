@@ -1,0 +1,120 @@
+"""Generative model geometry: the decoder stack behind prefill and decode.
+
+The serving layers price work through :class:`~repro.models.layers.ModelSpec`
+objects, but a generative workload is not one fixed spec — its GEMM
+activation dimension changes every event (prompt tokens at prefill, batch
+width at decode).  A :class:`GenModelConfig` therefore carries the *geometry*
+(widths, blocks, heads, vocab) and derives, on demand:
+
+* :meth:`GenModelConfig.step_spec` — a one-token, batch-1 decoder pass as a
+  GEMM-only ``ModelSpec``.  Registered in an
+  :class:`~repro.serving.engine.OnlineServingEngine`, asking that spec for a
+  "batch" of ``n`` prices the decoder GEMMs at activation dimension ``n`` —
+  so one registered spec serves both phases: ``n = batch width`` is a decode
+  step, ``n = total prompt tokens`` is a prefill pass, both priced by the
+  existing backend latency models (StepStone chunked PIM, CPU, GPU roofline);
+* :attr:`GenModelConfig.kv_bytes_per_token` — the KV-cache charge
+  ``2 x blocks x d_model x dtype_bytes`` (a key and a value vector per
+  block) that :class:`~repro.genai.kvcache.KVCacheBudget` levies per cached
+  token;
+* :attr:`GenModelConfig.weight_bytes` — decoder weights plus the
+  vocab-projection matrix, the resident footprint a node must host before
+  any KV fits.
+
+:data:`GPT2_XL` matches the Table II GPT2 geometry the rest of the repo
+calibrates against (48 blocks, 1600/6400 widths, 25 heads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.layers import ModelSpec, decoder_step_gemms
+
+__all__ = ["GenModelConfig", "GPT2_XL"]
+
+
+@dataclass(frozen=True)
+class GenModelConfig:
+    """Geometry of one autoregressive decoder stack.
+
+    Args:
+        name: Model label (also the engine registration key prefix).
+        d_model: Residual width.
+        d_ff: MLP hidden width.
+        blocks: Decoder blocks.
+        heads: Attention heads (``d_model`` must divide evenly).
+        vocab: Vocabulary size (sampling cost and the LM-head weights).
+        dtype_bytes: Bytes per weight/KV element (4 = fp32, matching the
+            repo-wide calibration).
+    """
+
+    name: str
+    d_model: int
+    d_ff: int
+    blocks: int
+    heads: int
+    vocab: int
+    dtype_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if min(self.d_model, self.d_ff, self.blocks, self.heads, self.vocab) <= 0:
+            raise ValueError("all geometry dimensions must be positive")
+        if self.d_model % self.heads:
+            raise ValueError("heads must divide d_model")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension (``d_model / heads``)."""
+        return self.d_model // self.heads
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes one cached token occupies: a key and a value
+        vector of ``d_model`` elements in every block."""
+        return 2 * self.blocks * self.d_model * self.dtype_bytes
+
+    @property
+    def step_key(self) -> str:
+        """The engine registration key of :meth:`step_spec`."""
+        return f"{self.name}-step"
+
+    def step_spec(self) -> ModelSpec:
+        """One decoder pass over one token as a GEMM-only ``ModelSpec``.
+
+        ``batch_size=1`` and activation dimension 1 make the engine's
+        batch scaling exact: ``batch_latency(step_key, policy, n)`` runs
+        the four per-block GEMMs at ``N = n``.  Attention, sampling, and
+        the other CPU-resident ops are deliberately absent — they depend
+        on per-sequence context lengths, so the generative engine prices
+        them per event instead.
+        """
+        return ModelSpec(
+            name=self.step_key,
+            gemms=tuple(
+                decoder_step_gemms(self.d_model, self.d_ff, 1, self.blocks)
+            ),
+            cpu_ops=(),
+            batch_size=1,
+        )
+
+    @property
+    def weight_bytes(self) -> float:
+        """Resident weights: decoder GEMM matrices plus the LM head."""
+        return (
+            self.step_spec().total_weight_bytes
+            + float(self.vocab) * self.d_model * self.dtype_bytes
+        )
+
+
+#: The Table II GPT2 geometry (GPT2-XL): the decode-serving default.
+GPT2_XL = GenModelConfig(
+    name="gpt2-xl",
+    d_model=1600,
+    d_ff=6400,
+    blocks=48,
+    heads=25,
+    vocab=50257,
+)

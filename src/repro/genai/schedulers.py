@@ -1,0 +1,115 @@
+"""Batching schedulers: who joins the running batch, and when.
+
+The decode-GEMM cost model makes wider batches cheaper per token, so a
+generative server always wants to batch — the question is *when a slot can
+change hands*, and the two answers here bracket the design space:
+
+* :class:`StaticBatcher` — the classic server: a batch is formed at
+  prefill, runs until its **longest** sequence finishes, and only then
+  does the next batch form.  Slots freed by short sequences are wasted as
+  padding (the decode GEMM stays at the admitted width), and every arrival
+  waits for the full drain — which is what mixed output lengths do to TTFT;
+* :class:`ContinuousBatcher` — iteration-level scheduling (Orca/vLLM
+  style): sequences leave at the token boundary where they finish and
+  waiting sequences join at any boundary with a free slot, paying a
+  prefill that briefly stalls the running batch.  Slots never idle, so
+  TTFT tracks prefill time instead of batch-drain time.
+
+Both admit in **strict FIFO order** — a sequence that does not fit the
+KV-cache budget blocks everything behind it rather than being skipped.
+That is the fairness contract that also makes the two schedulers provably
+identical when every sequence has the same output length and batches close
+together (the ``tests/test_genai.py`` equivalence invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Deque, List, Sequence
+
+from repro.genai.kvcache import KVCacheBudget
+
+__all__ = ["StaticBatcher", "ContinuousBatcher"]
+
+
+def _fifo_fit(
+    waiting: Sequence, slots: int, kv: KVCacheBudget
+) -> List:
+    """The shared admission loop: a FIFO prefix bounded by slots and KV.
+
+    Walks ``waiting`` in order, accumulating each sequence's admission
+    reservation, and stops at the first sequence that does not fit —
+    never skipping ahead (strict FIFO).
+    """
+    joiners: List = []
+    need = 0
+    for seq in waiting:
+        if len(joiners) >= slots:
+            break
+        tokens = seq.admit_tokens
+        if not kv.fits(need + tokens):
+            break
+        joiners.append(seq)
+        need += tokens
+    return joiners
+
+
+class StaticBatcher:
+    """Batch fixed at prefill; runs to the longest sequence.
+
+    ``fixed_width = True`` tells the engine to charge every decode step
+    at the *admitted* batch width even after short sequences finish —
+    the padding waste that makes static batching lose tokens/s under
+    mixed output lengths.
+    """
+
+    name = "static"
+    #: Decode steps are charged at the admitted width (padding).
+    fixed_width = True
+
+    def select(
+        self, waiting: Deque, running: List, max_batch: int, kv: KVCacheBudget
+    ) -> List:
+        """Admit a fresh batch only once the previous one fully drained.
+
+        Args:
+            waiting: Admission queue (FIFO).
+            running: Sequences still decoding.
+            max_batch: Slot count of a batch.
+            kv: The KV budget admissions reserve against.
+
+        Returns:
+            The FIFO prefix forming the next batch, or ``[]`` while any
+            sequence is still running.
+        """
+        if running:
+            return []
+        return _fifo_fit(waiting, max_batch, kv)
+
+
+class ContinuousBatcher:
+    """Sequences join and leave the batch at token boundaries.
+
+    ``fixed_width = False``: decode steps are charged at the *live*
+    width, so a slot freed by a finishing sequence immediately stops
+    costing — and is immediately offered to the queue.
+    """
+
+    name = "continuous"
+    #: Decode steps are charged at the live width (no padding).
+    fixed_width = False
+
+    def select(
+        self, waiting: Deque, running: List, max_batch: int, kv: KVCacheBudget
+    ) -> List:
+        """Fill every free slot at this boundary, strict-FIFO.
+
+        Args:
+            waiting: Admission queue (FIFO).
+            running: Sequences still decoding.
+            max_batch: Slot count of a batch.
+            kv: The KV budget admissions reserve against.
+
+        Returns:
+            The FIFO prefix that fits the free slots and the KV budget.
+        """
+        return _fifo_fit(waiting, max_batch - len(running), kv)

@@ -7,34 +7,48 @@ small-N regime where StepStone-BG shines (§V-B: "GPT2 shows a similar trend
 [to DLRM] but the gaps are greater due to a larger weight matrix").
 The non-power-of-two 1600/6400 dimensions exercise the §III fn. 2
 partitioning path.
+
+``prompt_tokens`` makes the context the generation starts from explicit:
+the per-step FC GEMMs are unchanged (the KV cache means one fresh token per
+step regardless of prompt length) but attention attends the full cached
+context, so CPU_Other grows with the prompt.  The default of 0 reproduces
+the original Table II aggregate exactly.
 """
 
 from __future__ import annotations
 
-from repro.core.gemm import GemmShape
-from repro.models.layers import CpuOp, GemmInvocation, ModelSpec, attention_cpu_ops
+from repro.models.layers import (
+    CpuOp,
+    ModelSpec,
+    attention_cpu_ops,
+    decoder_step_gemms,
+)
 
 __all__ = ["make_gpt2"]
 
 
-def make_gpt2(batch: int = 4, gen_tokens: int = 8, blocks: int = 48) -> ModelSpec:
+def make_gpt2(
+    batch: int = 4,
+    gen_tokens: int = 8,
+    blocks: int = 48,
+    prompt_tokens: int = 0,
+) -> ModelSpec:
     d_model = 1600
     d_ff = 6400
     heads = 25
     n = batch  # one token per step, KV-cached
-    per_step = blocks
-    total = per_step * gen_tokens
-    gemms = (
-        GemmInvocation("proj-qkv", GemmShape(d_model, d_model, n), count=3 * total),
-        GemmInvocation("proj-out", GemmShape(d_model, d_model, n), count=total),
-        GemmInvocation("mlp-up", GemmShape(d_ff, d_model, n), count=total),
-        GemmInvocation("mlp-down", GemmShape(d_model, d_ff, n), count=total),
-    )
+    gemms = tuple(decoder_step_gemms(d_model, d_ff, n, blocks, repeat=gen_tokens))
     cpu_ops = tuple(
         op
         for step in range(gen_tokens)
         for op in attention_cpu_ops(
-            f"gpt2/t{step}", blocks, batch, heads, step + 1, d_model // heads, d_model
+            f"gpt2/t{step}",
+            blocks,
+            batch,
+            heads,
+            prompt_tokens + step + 1,
+            d_model // heads,
+            d_model,
         )
     ) + (
         CpuOp("gpt2/sampling", 2.0 * batch * 50257, 4.0 * batch * 50257 * 2, count=gen_tokens),

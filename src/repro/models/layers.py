@@ -17,7 +17,15 @@ from typing import List, Tuple
 from repro.baselines.cpu import CpuConfig, XEON_8280
 from repro.core.gemm import GemmShape
 
-__all__ = ["GemmInvocation", "CpuOp", "ModelSpec", "pow2_partition"]
+__all__ = [
+    "GemmInvocation",
+    "CpuOp",
+    "ModelSpec",
+    "pow2_partition",
+    "attention_cpu_ops",
+    "decoder_step_gemms",
+    "decode_attention_cpu_ops",
+]
 
 
 @dataclass(frozen=True)
@@ -94,6 +102,50 @@ def pow2_partition(shape: GemmShape, min_dim: int = 16) -> List[GemmShape]:
     ]
 
 
+def decoder_step_gemms(
+    d_model: int,
+    d_ff: int,
+    n: int,
+    blocks: int,
+    repeat: int = 1,
+    suffix: str = "",
+) -> List[GemmInvocation]:
+    """The four FC/projection GEMMs of one decoder-stack token step.
+
+    Every autoregressive transformer in this repo runs the same four
+    weight matrices per block and per generated token — QKV projection
+    (three matrices, hence the 3x count), output projection, and the two
+    MLP layers — at activation dimension ``n``.  This helper is the one
+    place that structure lives: :func:`repro.models.gpt2.make_gpt2`
+    aggregates ``repeat=gen_tokens`` steps into one spec,
+    :func:`repro.models.xlm.make_xlm` emits one call per sequence length,
+    and ``repro.genai`` builds its per-token step spec from a single call.
+
+    Args:
+        d_model: Model (residual) width.
+        d_ff: MLP hidden width.
+        n: Activation dimension (batch x tokens processed this step).
+        blocks: Decoder blocks in the stack.
+        repeat: How many identical steps to fold into the counts.
+        suffix: Appended to each invocation name (e.g. ``"/len3"``).
+
+    Returns:
+        The four invocations, QKV first, with counts scaled by
+        ``blocks * repeat``.
+    """
+    total = blocks * repeat
+    return [
+        GemmInvocation(
+            f"proj-qkv{suffix}", GemmShape(d_model, d_model, n), count=3 * total
+        ),
+        GemmInvocation(
+            f"proj-out{suffix}", GemmShape(d_model, d_model, n), count=total
+        ),
+        GemmInvocation(f"mlp-up{suffix}", GemmShape(d_ff, d_model, n), count=total),
+        GemmInvocation(f"mlp-down{suffix}", GemmShape(d_model, d_ff, n), count=total),
+    ]
+
+
 def attention_cpu_ops(
     name: str,
     blocks: int,
@@ -122,5 +174,54 @@ def attention_cpu_ops(
         CpuOp(f"{name}/softmax", 5.0 * batch * heads * seq * seq, softmax_bytes, count=blocks),
         CpuOp(f"{name}/gelu", 8.0 * batch * seq * 4 * d_model, gelu_bytes, count=blocks),
         CpuOp(f"{name}/layernorm", 5.0 * batch * seq * d_model, norm_bytes, count=2 * blocks),
+        CpuOp(f"{name}/reorg", 0.0, reorg_bytes, count=blocks),
+    ]
+
+
+def decode_attention_cpu_ops(
+    name: str,
+    blocks: int,
+    heads: int,
+    head_dim: int,
+    d_model: int,
+    n_tokens: int,
+    total_context: int,
+) -> List[CpuOp]:
+    """CPU_Other ops of one KV-cached decode step over a batch of sequences.
+
+    The decode-time counterpart of :func:`attention_cpu_ops`: with the KV
+    cache holding every previous token, each sequence attends one fresh
+    query against its cached context, so score/context work is *linear*
+    in context length, not quadratic.  The batch is folded into op
+    volumes (``n_tokens`` fresh tokens, ``total_context`` cached tokens
+    across the whole batch) while the per-kernel dispatch overhead stays
+    ``count=blocks`` — batching amortizes launches, which is exactly why
+    serving wider decode batches is cheaper per token.
+
+    Args:
+        name: Op-name prefix.
+        blocks: Decoder blocks (the dispatch count per op type).
+        heads: Attention heads.
+        head_dim: Per-head dimension.
+        d_model: Model width.
+        n_tokens: Fresh tokens this step (one per active sequence).
+        total_context: Summed context length (cached + current token)
+            across the batch — what the score/context GEMVs traverse.
+
+    Returns:
+        The decode-step op list (scores, context, softmax, GELU, norms,
+        reorg), each with ``count=blocks``.
+    """
+    scores_flops = 2.0 * heads * total_context * head_dim
+    scores_bytes = 4.0 * heads * total_context * 3
+    gelu_bytes = 4.0 * n_tokens * 4 * d_model * 2
+    norm_bytes = 4.0 * n_tokens * d_model * 4
+    reorg_bytes = 4.0 * n_tokens * d_model * 4
+    return [
+        CpuOp(f"{name}/attn-scores", scores_flops, scores_bytes, count=blocks),
+        CpuOp(f"{name}/attn-context", scores_flops, scores_bytes, count=blocks),
+        CpuOp(f"{name}/softmax", 5.0 * heads * total_context, scores_bytes, count=blocks),
+        CpuOp(f"{name}/gelu", 8.0 * n_tokens * 4 * d_model, gelu_bytes, count=blocks),
+        CpuOp(f"{name}/layernorm", 5.0 * n_tokens * d_model, norm_bytes, count=2 * blocks),
         CpuOp(f"{name}/reorg", 0.0, reorg_bytes, count=blocks),
     ]

@@ -6,43 +6,46 @@ N = batch x current_length = 4, 8, ..., 32.  This is the workload the paper
 uses to motivate *dynamic* PIM-level selection: BG-level PIMs win while N is
 small, then execution switches to DV-level once arithmetic saturates
 (§V-B; also the multi-layout problem of §II for replication-based PIMs).
+
+``prompt_tokens`` seeds the sequence with an existing context: without a KV
+cache the whole ``prompt + generated`` sequence re-runs every FC layer each
+iteration, so here (unlike GPT2) the prompt inflates the GEMM activation
+dimension too.  The default of 0 reproduces the original Table II aggregate
+exactly.
 """
 
 from __future__ import annotations
 
-from repro.core.gemm import GemmShape
-from repro.models.layers import CpuOp, GemmInvocation, ModelSpec, attention_cpu_ops
+from repro.models.layers import (
+    CpuOp,
+    ModelSpec,
+    attention_cpu_ops,
+    decoder_step_gemms,
+)
 
 __all__ = ["make_xlm"]
 
 
-def make_xlm(batch: int = 4, max_len: int = 8, blocks: int = 12) -> ModelSpec:
+def make_xlm(
+    batch: int = 4,
+    max_len: int = 8,
+    blocks: int = 12,
+    prompt_tokens: int = 0,
+) -> ModelSpec:
     d_model = 2048
     d_ff = 8192
     heads = 16
     gemms = []
     cpu_ops = []
     for step in range(1, max_len + 1):
-        n = batch * step  # whole sequence re-processed, no KV cache
+        length = prompt_tokens + step
+        n = batch * length  # whole sequence re-processed, no KV cache
         gemms.extend(
-            [
-                GemmInvocation(
-                    f"proj-qkv/len{step}", GemmShape(d_model, d_model, n), count=3 * blocks
-                ),
-                GemmInvocation(
-                    f"proj-out/len{step}", GemmShape(d_model, d_model, n), count=blocks
-                ),
-                GemmInvocation(
-                    f"mlp-up/len{step}", GemmShape(d_ff, d_model, n), count=blocks
-                ),
-                GemmInvocation(
-                    f"mlp-down/len{step}", GemmShape(d_model, d_ff, n), count=blocks
-                ),
-            ]
+            decoder_step_gemms(d_model, d_ff, n, blocks, suffix=f"/len{step}")
         )
         cpu_ops.extend(
             attention_cpu_ops(
-                f"xlm/len{step}", blocks, batch, heads, step, d_model // heads, d_model
+                f"xlm/len{step}", blocks, batch, heads, length, d_model // heads, d_model
             )
         )
     cpu_ops.append(

@@ -27,7 +27,17 @@ priority  kind      why it sorts here
                     reacts next tick) and before finishes, so a batch
                     completing exactly at the failure instant is lost —
                     the pessimistic reading
-5         FINISH    completions are recorded last at any instant
+5         PREFILL   a prompt pass completing at an instant merges its
+                    sequences (and emits their first tokens) before the
+                    decode boundary at the same instant, so fresh joiners
+                    are part of that boundary's batch; like FINISH it
+                    sorts after FAIL — a prefill landing exactly at a
+                    failure instant is lost with the node
+6         DECODE    token boundaries fire after any same-instant prefill
+          _STEP     merge and before FINISH bookkeeping, so the
+                    completions recorded at an instant already reflect
+                    every token emitted at it
+7         FINISH    completions are recorded last at any instant
 ========  ========  ====================================================
 
 Ties inside one ``(time, kind)`` break by ``entity`` (node id, stream
@@ -72,7 +82,9 @@ class EventKind(IntEnum):
     READY = 2
     CONTROL = 3
     FAIL = 4
-    FINISH = 5
+    PREFILL = 5
+    DECODE_STEP = 6
+    FINISH = 7
 
 
 class Event(NamedTuple):

@@ -93,17 +93,30 @@ class TestDocs:
         assert "serve-hetero" in snippet
         assert "serve-hetero" in EXPERIMENTS
 
+    def test_readme_genai_quickstart_snippet(self):
+        """The generative-serving quickstart exists, is a bash block, and
+        points at a registered experiment (CI executes it verbatim)."""
+        from repro.experiments.registry import EXPERIMENTS
+
+        readme = (ROOT / "README.md").read_text()
+        m = re.search(r"## Generative LLM serving.*?```bash\n(.*?)```", readme, re.S)
+        assert m, "README is missing the generative-serving quickstart"
+        snippet = m.group(1)
+        assert "serve-genai" in snippet
+        assert "serve-genai" in EXPERIMENTS
+
     def test_cluster_autoscale_public_docstrings(self):
         """Every public ``__all__`` member of the fleet packages — and
         every public method/property it defines — documents itself (the
-        docstring-audit gate for `repro.sim`, `repro.cluster`, and
-        `repro.autoscale`)."""
+        docstring-audit gate for `repro.sim`, `repro.cluster`,
+        `repro.autoscale`, and `repro.genai`)."""
         import repro.autoscale
         import repro.cluster
+        import repro.genai
         import repro.sim
 
         missing = []
-        for pkg in (repro.sim, repro.cluster, repro.autoscale):
+        for pkg in (repro.sim, repro.cluster, repro.autoscale, repro.genai):
             for name in pkg.__all__:
                 obj = getattr(pkg, name)
                 if not (isinstance(obj, type) or callable(obj)):
@@ -151,6 +164,12 @@ class TestDocs:
             "repro.sim.failures",
             "repro.sim.stats",
             "repro.sim.sweep",
+            "repro.genai.model",
+            "repro.genai.workload",
+            "repro.genai.kvcache",
+            "repro.genai.schedulers",
+            "repro.genai.engine",
+            "repro.genai.report",
         ):
             m = importlib.import_module(mod)
             assert m.__doc__ and len(m.__doc__) > 40, mod

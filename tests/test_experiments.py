@@ -28,6 +28,7 @@ class TestRegistry:
             "serve",
             "serve-cluster",
             "serve-autoscale",
+            "serve-genai",
             "serve-hetero",
             "serve-chaos",
             "serve-scale",

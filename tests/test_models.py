@@ -6,7 +6,13 @@ from repro.core.gemm import GemmShape
 from repro.models.bert import make_bert
 from repro.models.dlrm import make_dlrm_rm3
 from repro.models.gpt2 import make_gpt2
-from repro.models.layers import CpuOp, GemmInvocation, pow2_partition
+from repro.models.layers import (
+    CpuOp,
+    GemmInvocation,
+    decode_attention_cpu_ops,
+    decoder_step_gemms,
+    pow2_partition,
+)
 from repro.models.xlm import make_xlm
 
 
@@ -110,3 +116,76 @@ class TestModelSpecs:
         bert = make_bert()
         # 24 blocks x (4 x 1M + 2 x 4M) fp32 params = ~1.1 GiB streamed.
         assert 1e9 < bert.total_weight_bytes < 2e9
+
+
+class TestDecoderStepHelpers:
+    """The shared per-step decode helpers and the prompt-length knobs
+    (PR 7 satellite): defaults must pin the original aggregate specs."""
+
+    def test_gpt2_default_aggregate_pinned(self):
+        """make_gpt2() is bit-identical to the pre-refactor aggregate."""
+        spec = make_gpt2()
+        assert spec.total_gemm_flops == 94371840000.0
+        assert spec.total_weight_bytes == 47185920000
+        assert spec.cpu_other_seconds() == pytest.approx(
+            0.018642752727272723, rel=0, abs=0
+        )
+        assert [(g.name, g.shape.m, g.shape.k, g.shape.n, g.count) for g in spec.gemms] == [
+            ("proj-qkv", 1600, 1600, 4, 1152),
+            ("proj-out", 1600, 1600, 4, 384),
+            ("mlp-up", 6400, 1600, 4, 384),
+            ("mlp-down", 1600, 6400, 4, 384),
+        ]
+
+    def test_xlm_default_aggregate_pinned(self):
+        """make_xlm() is bit-identical to the pre-refactor aggregate."""
+        spec = make_xlm()
+        assert spec.total_gemm_flops == 173946175488.0
+        assert spec.total_weight_bytes == 19327352832
+        assert spec.cpu_other_seconds() == pytest.approx(
+            0.005820003463203462, rel=0, abs=0
+        )
+        assert spec.gemms[0].name == "proj-qkv/len1"
+        assert spec.gemms[0].count == 36
+
+    def test_decoder_step_gemms_structure(self):
+        gemms = decoder_step_gemms(1600, 6400, n=4, blocks=48, repeat=8)
+        assert [g.name for g in gemms] == ["proj-qkv", "proj-out", "mlp-up", "mlp-down"]
+        assert [g.count for g in gemms] == [3 * 384, 384, 384, 384]
+        assert gemms[2].shape == GemmShape(6400, 1600, 4)
+
+    def test_gpt2_prompt_grows_attention_not_gemms(self):
+        """KV cache: a longer prompt leaves the FC GEMMs untouched but
+        inflates the attended context (CPU_Other)."""
+        base, long = make_gpt2(), make_gpt2(prompt_tokens=64)
+        assert long.total_gemm_flops == base.total_gemm_flops
+        assert long.total_weight_bytes == base.total_weight_bytes
+        assert long.cpu_other_seconds() > base.cpu_other_seconds()
+
+    def test_xlm_prompt_grows_gemms(self):
+        """No KV cache: XLM re-processes prompt + generated every step,
+        so the prompt inflates the GEMM activation dimension."""
+        base, long = make_xlm(), make_xlm(prompt_tokens=16)
+        assert long.total_gemm_flops > base.total_gemm_flops
+        ns = sorted({g.shape.n for g in long.gemms})
+        assert ns == [4 * (16 + i) for i in range(1, 9)]
+
+    def test_decode_attention_linear_in_context(self):
+        """Decode-time attention is linear in total context (the KV-cached
+        1 x ctx GEMV), unlike the quadratic prefill ops."""
+        small = decode_attention_cpu_ops("d", 48, 25, 64, 1600, n_tokens=4, total_context=100)
+        big = decode_attention_cpu_ops("d", 48, 25, 64, 1600, n_tokens=4, total_context=200)
+        s = next(op for op in small if op.name.endswith("attn-scores"))
+        b = next(op for op in big if op.name.endswith("attn-scores"))
+        assert b.flops == pytest.approx(2 * s.flops)
+        # Dispatch overhead is batch-independent: counts stay at blocks.
+        assert s.count == b.count == 48
+
+    def test_decode_attention_overhead_amortizes(self):
+        """Doubling the batch less than doubles per-step seconds: kernel
+        launches are shared, volumes scale."""
+        one = decode_attention_cpu_ops("d", 48, 25, 64, 1600, n_tokens=1, total_context=128)
+        two = decode_attention_cpu_ops("d", 48, 25, 64, 1600, n_tokens=2, total_context=256)
+        t1 = sum(op.seconds() for op in one)
+        t2 = sum(op.seconds() for op in two)
+        assert t1 < t2 < 2 * t1

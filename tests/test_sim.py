@@ -43,6 +43,10 @@ ORDER_TABLE = [
     (EventKind.CONTROL, 1),
     (EventKind.FAIL, 0),
     (EventKind.FAIL, 5),
+    (EventKind.PREFILL, 0),
+    (EventKind.PREFILL, 2),
+    (EventKind.DECODE_STEP, 0),
+    (EventKind.DECODE_STEP, 6),
     (EventKind.FINISH, 0),
     (EventKind.FINISH, 1),
     (EventKind.FINISH, 4),
@@ -51,7 +55,7 @@ ORDER_TABLE = [
 
 def _insertion_orders():
     """Orders to try: identity, reversed, interleaved, and a seeded
-    random sample (the full 11! is too many)."""
+    random sample (the full 15! is too many)."""
     base = list(range(len(ORDER_TABLE)))
     orders = [base, base[::-1], base[1::2] + base[0::2]]
     rng = random.Random(1234)
@@ -67,11 +71,14 @@ class TestTotalOrder:
 
     def test_kind_priorities_are_the_documented_table(self):
         """ARRIVAL < CONTROL < FINISH (the ISSUE contract), with RECOVER
-        first, READY before CONTROL, and FAIL between CONTROL and FINISH."""
+        first, READY before CONTROL, FAIL between CONTROL and the
+        completion kinds, and the generative phases (PREFILL, then
+        DECODE_STEP) between FAIL and FINISH."""
         assert EventKind.RECOVER < EventKind.ARRIVAL < EventKind.READY
         assert EventKind.READY < EventKind.CONTROL < EventKind.FAIL
-        assert EventKind.FAIL < EventKind.FINISH
-        assert [k.value for k in EventKind] == [0, 1, 2, 3, 4, 5]
+        assert EventKind.FAIL < EventKind.PREFILL < EventKind.DECODE_STEP
+        assert EventKind.DECODE_STEP < EventKind.FINISH
+        assert [k.value for k in EventKind] == [0, 1, 2, 3, 4, 5, 6, 7]
 
     @pytest.mark.parametrize("perm", _insertion_orders())
     def test_equal_time_events_pop_in_table_order(self, perm):
