@@ -52,8 +52,8 @@ def test_decode_10k_tokens_per_sec(benchmark, perf_record):
         sequences=len(stream),
         tokens=rep.tokens_out,
         events=rep.events_processed,
-        tokens_per_wall_sec=round(rep.tokens_out / wall),
-        events_per_wall_sec=round(rep.events_processed / wall),
+        tokens_per_s=round(rep.tokens_out / wall),
+        events_per_s=round(rep.events_processed / wall),
         sim_tokens_per_s=round(rep.tokens_per_s, 1),
     )
     assert rep.served == len(stream)

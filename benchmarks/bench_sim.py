@@ -83,13 +83,46 @@ def test_hetero_100k_events_per_sec(benchmark, perf_record):
         benchmark,
         requests=len(stream),
         events=rep.events_processed,
-        events_per_sec=round(rep.events_processed / wall),
-        requests_per_sec=round(len(stream) / wall),
+        events_per_s=round(rep.events_processed / wall),
+        requests_per_s=round(len(stream) / wall),
         served=rep.served,
         rejected=len(rep.rejected),
     )
     assert rep.served + len(rep.rejected) == len(stream)
     assert rep.events_processed > len(stream)  # arrivals + finishes + ticks
+
+
+def test_hetero_100k_profiled(benchmark, perf_record):
+    """The same 100k-request loop under `KernelProfiler`: records where
+    the per-event Python time goes (handler share, heap-vs-stream split)
+    and what self-profiling itself costs next to ``hetero_100k``."""
+    from repro.obs import KernelProfiler, RunObserver
+
+    cluster, policy, stream = hetero_100k_scenario()
+    cluster.run(stream[:2000], policy)  # warm the latency cache
+
+    prof = KernelProfiler()
+    obs = RunObserver(profile=prof)
+
+    def run():
+        return cluster.run(stream, policy, obs=obs)
+
+    rep = benchmark.pedantic(run, rounds=2, iterations=1)
+    wall = float(benchmark.stats.stats.mean)
+    p = prof.profile()
+    perf_record(
+        "hetero_100k_profiled",
+        benchmark,
+        requests=len(stream),
+        events=rep.events_processed,
+        events_per_s=round(rep.events_processed / wall),
+        handler_share=round(p.handler_share, 4),
+        stream_share=round(p.stream_share, 4),
+        top_kind=p.rows()[0]["kind"] if p.rows() else "",
+    )
+    # The profiler's ledger and the report agree on the last round.
+    assert prof.events % rep.events_processed == 0
+    assert rep.served + len(rep.rejected) == len(stream)
 
 
 def test_kernel_micro(benchmark, perf_record):
@@ -115,6 +148,6 @@ def test_kernel_micro(benchmark, perf_record):
         "kernel_micro",
         benchmark,
         events=kernel.processed,
-        events_per_sec=round(kernel.processed / wall),
+        events_per_s=round(kernel.processed / wall),
     )
     assert kernel.processed == 2 * n

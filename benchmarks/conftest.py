@@ -9,11 +9,15 @@ Each bench module also leaves a machine-readable perf artifact behind:
 ``BENCH_<name>.json`` next to the module (``bench_serving.py`` ->
 ``BENCH_serving.json``), holding the mean per-round wall time plus key
 metrics per entry.  Committed across PRs, these files are the repo's perf
-trajectory — diff them to see what a change did to the hot paths.
+trajectory — diff them to see what a change did to the hot paths.  Every
+artifact follows the schema pinned in :mod:`schema` (``wall_s`` per
+entry, a ``machine`` tag at top level, normalized ``*_per_s`` throughput
+keys) and is validated before being written.
 """
 
 from __future__ import annotations
 
+import importlib.util
 import json
 from pathlib import Path
 from typing import Any, Dict
@@ -21,6 +25,12 @@ from typing import Any, Dict
 import pytest
 
 from repro.experiments.registry import run_experiment
+
+_SCHEMA_SPEC = importlib.util.spec_from_file_location(
+    "bench_schema", Path(__file__).resolve().parent / "schema.py"
+)
+_schema = importlib.util.module_from_spec(_SCHEMA_SPEC)
+_SCHEMA_SPEC.loader.exec_module(_schema)
 
 _printed = set()
 #: bench name -> entry name -> {"wall_s": ..., **metrics}
@@ -33,9 +43,11 @@ def _bench_name(request) -> str:
     return stem[len("bench_"):] if stem.startswith("bench_") else stem
 
 
-def record_perf(bench: str, entry: str, mean_s: float, **metrics: Any) -> None:
+def record_perf(bench: str, entry: str, wall_s: float, **metrics: Any) -> None:
     """Register one perf data point for this session's BENCH_<bench>.json."""
-    _PERF.setdefault(bench, {})[entry] = {"mean_s": round(mean_s, 6), **metrics}
+    _PERF.setdefault(bench, {})[entry] = _schema.migrate_entry(
+        {"wall_s": round(wall_s, 6), **metrics}
+    )
 
 
 @pytest.fixture
@@ -64,11 +76,17 @@ def pytest_sessionfinish(session, exitstatus):
         merged: Dict[str, Any] = {}
         if path.exists():  # partial runs (-k, single module) keep old entries
             try:
-                merged = json.loads(path.read_text()).get("entries", {})
+                old = json.loads(path.read_text()).get("entries", {})
+                merged = {k: _schema.migrate_entry(v) for k, v in old.items()}
             except (json.JSONDecodeError, AttributeError):
                 merged = {}
         merged.update(entries)
-        payload = {"bench": bench, "entries": {k: merged[k] for k in sorted(merged)}}
+        payload = {
+            "bench": bench,
+            "machine": _schema.machine_tag(),
+            "entries": {k: merged[k] for k in sorted(merged)},
+        }
+        _schema.validate_bench_payload(payload)
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 

@@ -1,0 +1,99 @@
+"""The BENCH_*.json perf-artifact schema, one place.
+
+Seven PRs of benchmarks accreted three spellings of "events per second"
+and timed everything under a ``mean_s`` key that says nothing about what
+was measured.  This module pins the schema every artifact follows:
+
+* top level: ``{"bench": <name>, "machine": <tag>, "entries": {...}}``;
+* each entry: ``{"wall_s": <mean seconds per round>, **metrics}`` with
+  throughput metrics under the normalized names ``events_per_s`` /
+  ``requests_per_s`` / ``tokens_per_s``.
+
+:func:`validate_bench_payload` is the single gate (the conftest writer
+validates before writing, ``tests/test_bench_schema.py`` validates every
+committed file), and :func:`migrate_entry` is the single legacy-key
+translator the writer applies when merging entries written by older
+sessions.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from typing import Any, Dict
+
+__all__ = ["machine_tag", "migrate_entry", "validate_bench_payload", "LEGACY_KEYS"]
+
+#: Legacy key -> normalized key (applied by :func:`migrate_entry`,
+#: rejected by :func:`validate_bench_payload`).
+LEGACY_KEYS: Dict[str, str] = {
+    "mean_s": "wall_s",
+    "events_per_sec": "events_per_s",
+    "events_per_wall_sec": "events_per_s",
+    "requests_per_sec": "requests_per_s",
+    "tokens_per_wall_sec": "tokens_per_s",
+}
+
+
+def machine_tag() -> str:
+    """A coarse host tag (``os-arch-pyX.Y``) stamped into every artifact
+    so cross-machine perf diffs are visibly cross-machine."""
+    return (
+        f"{platform.system().lower()}-{platform.machine().lower()}"
+        f"-py{sys.version_info.major}.{sys.version_info.minor}"
+    )
+
+
+def migrate_entry(entry: Dict[str, Any]) -> Dict[str, Any]:
+    """Translate one entry's legacy keys to the normalized schema.
+
+    Args:
+        entry: An entry dict possibly written by an older session.
+
+    Returns:
+        A new dict with every :data:`LEGACY_KEYS` name renamed (a
+        normalized key already present wins over its legacy alias).
+    """
+    out: Dict[str, Any] = {}
+    for key, value in entry.items():
+        target = LEGACY_KEYS.get(key, key)
+        if target in out or (target != key and target in entry):
+            continue
+        out[target] = value
+    return out
+
+
+def validate_bench_payload(payload: Any) -> int:
+    """Validate one BENCH_*.json payload against the pinned schema.
+
+    Args:
+        payload: The parsed JSON object.
+
+    Returns:
+        The number of validated entries.
+
+    Raises:
+        ValueError: On a missing/mistyped top-level field, an entry
+            without a numeric non-negative ``wall_s``, a legacy metric
+            key, or a non-scalar metric value.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("payload must be a JSON object")
+    for field, kind in (("bench", str), ("machine", str), ("entries", dict)):
+        if not isinstance(payload.get(field), kind):
+            raise ValueError(f"payload needs {field!r} of type {kind.__name__}")
+    for name, entry in payload["entries"].items():
+        if not isinstance(entry, dict):
+            raise ValueError(f"entry {name!r} must be an object")
+        wall = entry.get("wall_s")
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+            raise ValueError(f"entry {name!r} needs numeric non-negative 'wall_s'")
+        for key, value in entry.items():
+            if key in LEGACY_KEYS:
+                raise ValueError(
+                    f"entry {name!r} uses legacy key {key!r}; "
+                    f"write {LEGACY_KEYS[key]!r}"
+                )
+            if not isinstance(value, (int, float, bool, str)):
+                raise ValueError(f"entry {name!r} metric {key!r} must be scalar")
+    return len(payload["entries"])

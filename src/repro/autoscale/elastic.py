@@ -141,6 +141,7 @@ class ElasticCluster:
         self._arrived_window = 0
         self._kernel: Optional[DiscreteEventKernel] = None
         self._run_stats: Optional[MetricsRecorder] = None
+        self._obs_spans = None
 
     # ------------------------------------------------------------------ #
     # Provisioning model
@@ -194,6 +195,7 @@ class ElasticCluster:
                     record="streaming", parent=self._run_stats
                 ),
             )
+        node.obs_spans = self._obs_spans
         life = NodeLifetime(node_id=nid, ordered_s=clock)
         slot = _NodeSlot(
             node=node,
@@ -279,6 +281,7 @@ class ElasticCluster:
         failures: Optional[FailureTrace] = None,
         presorted: bool = False,
         horizon_s: Optional[float] = None,
+        obs=None,
     ) -> AutoscaleReport:
         """Serve an arrival-ordered stream while ``autoscaler`` resizes the
         fleet every control interval.
@@ -300,6 +303,10 @@ class ElasticCluster:
                 ticks are scheduled up front through ``horizon_s`` plus
                 one trailing interval, since a lazy stream's end is
                 unknown until it drains.
+            obs: Optional :class:`~repro.obs.RunObserver` — every node
+                (including ones provisioned mid-run) emits request
+                lifecycle spans, and the kernel self-profiles when a
+                profiler is attached.  Default off.
 
         Returns:
             The :class:`~repro.autoscale.report.AutoscaleReport`.
@@ -307,6 +314,7 @@ class ElasticCluster:
         Raises:
             ValueError: If ``presorted`` without ``horizon_s``.
         """
+        self._obs_spans = obs.spans if obs is not None else None
         self._fresh()
         autoscaler.reset()
         kernel = self._kernel
@@ -467,7 +475,8 @@ class ElasticCluster:
                 EventKind.CONTROL: on_control,
                 EventKind.FAIL: on_fails,
                 EventKind.RECOVER: on_recovers,
-            }
+            },
+            obs=obs,
         )
         # The serving horizon excludes trailing control ticks (controller
         # bookkeeping, not service) — a static-policy run matches the
@@ -480,7 +489,7 @@ class ElasticCluster:
             if slot.state != RETIRED:
                 self._retire(slot, sim_end)
         report.sim_end_s = sim_end
-        report.events_processed = kernel.processed
+        kernel.finalize(report)
         report.n_dropped = state["n_dropped"]
         report.stats = run_stats
         for nid, slot in sorted(self._slots.items()):
@@ -488,6 +497,13 @@ class ElasticCluster:
             report.node_reports[nid] = slot.node.report
             report.lifetimes[nid] = slot.life
             report.node_busy_s[nid] = slot.node.busy_s
+        if obs is not None and obs.telemetry is not None:
+            obs.telemetry.record_counts(
+                "elastic",
+                served=report.served,
+                rejected=report.rejected_count,
+                failed=report.failed_count,
+            )
         return report
 
     def _observe(self, t0: float, t1: float) -> ControlObservation:

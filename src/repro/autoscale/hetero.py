@@ -424,6 +424,7 @@ class HeteroElasticCluster:
         self._kernel: Optional[DiscreteEventKernel] = None
         self._run_stats: Optional[MetricsRecorder] = None
         self._pool_stats: Dict[str, MetricsRecorder] = {}
+        self._obs_spans = None
 
     # ------------------------------------------------------------------ #
     # Provisioning model
@@ -485,6 +486,7 @@ class HeteroElasticCluster:
                     record="streaming", parent=self._pool_stats[pool]
                 ),
             )
+        node.obs_spans = self._obs_spans
         life = NodeLifetime(node_id=nid, ordered_s=clock)
         slot = _PoolSlot(
             node=node,
@@ -570,6 +572,7 @@ class HeteroElasticCluster:
         requests: Iterable[Request],
         autoscaler: HeteroAutoscalePolicy,
         failures: Optional[FailureTrace] = None,
+        obs=None,
     ) -> HeteroAutoscaleReport:
         """Serve an arrival-ordered stream while ``autoscaler`` resizes
         every pool each control interval.
@@ -580,10 +583,15 @@ class HeteroElasticCluster:
             failures: Optional outage schedule (node ids are spawn
                 order) — failed nodes drop their work, leave their
                 pool's owned set, and rejoin on recovery.
+            obs: Optional :class:`~repro.obs.RunObserver` — every node
+                (across all pools, including mid-run spawns) emits
+                request lifecycle spans, and the kernel self-profiles
+                when a profiler is attached.  Default off.
 
         Returns:
             The :class:`HeteroAutoscaleReport` for the run.
         """
+        self._obs_spans = obs.spans if obs is not None else None
         self._fresh()
         autoscaler.reset()
         kernel = self._kernel
@@ -732,14 +740,15 @@ class HeteroElasticCluster:
                 EventKind.CONTROL: on_control,
                 EventKind.FAIL: on_fails,
                 EventKind.RECOVER: on_recovers,
-            }
+            },
+            obs=obs,
         )
         sim_end = max(state["last_service_end"], last_arrival)
         for slot in self._slots.values():
             if slot.state != RETIRED:
                 self._retire(slot, sim_end)
         report.sim_end_s = sim_end
-        report.events_processed = kernel.processed
+        kernel.finalize(report)
         report.n_dropped = state["n_dropped"]
         report.stats = run_stats
         report.pool_stats = dict(self._pool_stats)
@@ -749,6 +758,13 @@ class HeteroElasticCluster:
             report.lifetimes[nid] = slot.life
             report.node_busy_s[nid] = slot.node.busy_s
             report.node_pool[nid] = slot.pool
+        if obs is not None and obs.telemetry is not None:
+            obs.telemetry.record_counts(
+                "hetero",
+                served=report.served,
+                rejected=report.rejected_count,
+                failed=report.failed_count,
+            )
         return report
 
     def _observe(self, t0: float, t1: float) -> Dict[str, ControlObservation]:

@@ -397,6 +397,7 @@ class Cluster:
         self,
         requests: Iterable[Request],
         failures: Optional[FailureTrace] = None,
+        obs=None,
     ) -> ClusterReport:
         """Serve an arrival-ordered stream across the fleet.
 
@@ -407,6 +408,10 @@ class Cluster:
                 and leaves the routing set until it recovers; an
                 arrival whose every replica is down is dropped at the
                 door.
+            obs: Optional :class:`~repro.obs.RunObserver` — nodes emit
+                ``queued``/``serve``/``rejected``/``failed`` request
+                spans and per-dispatch ``batch`` spans, and the kernel
+                self-profiles when a profiler is attached.  Default off.
 
         Returns:
             The fleet-wide :class:`ClusterReport`.
@@ -417,6 +422,9 @@ class Cluster:
                 record="streaming", window_s=self.window_s
             )
         self._fresh_nodes(fleet_stats)
+        spans = obs.spans if obs is not None else None
+        for node in self.nodes:
+            node.obs_spans = spans
         self.router.reset()
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
         last_arrival = ordered[-1].arrival_s if ordered else 0.0
@@ -496,7 +504,8 @@ class Cluster:
                 EventKind.FINISH: on_finishes,
                 EventKind.FAIL: on_fails,
                 EventKind.RECOVER: on_recovers,
-            }
+            },
+            obs=obs,
         )
         sim_end = max(last_service_end, last_arrival)
         report = ClusterReport(
@@ -509,9 +518,16 @@ class Cluster:
             specs=list(self.specs),
             dropped=dropped,
             n_dropped=n_dropped,
-            events_processed=kernel.processed,
             stats=fleet_stats,
         )
+        kernel.finalize(report)
         for rep in report.node_reports:
             rep.sim_end_s = sim_end
+        if obs is not None and obs.telemetry is not None:
+            obs.telemetry.record_counts(
+                "cluster",
+                served=report.served,
+                rejected=report.rejected_count,
+                failed=report.failed_count,
+            )
         return report

@@ -73,6 +73,10 @@ class ClusterNode:
         #: older epoch is stale (its batch was lost) and must be ignored.
         self.epoch: int = 0
         self._dispatch_s: float = 0.0
+        self._service_s: float = 0.0
+        #: Optional :class:`~repro.obs.trace.SpanRecorder` the owning
+        #: fleet attaches for a traced run (``None`` = no tracing).
+        self.obs_spans = None
         # Batch-1 latency per model: a hardware property of this node,
         # so it survives runs.  The SLO-feasibility routers ask for it
         # once per replica per arrival — caching here keeps that hot
@@ -148,22 +152,45 @@ class ClusterNode:
                     head_model, self.policy, size, spec=self.spec
                 ),
             )
+            spans = self.obs_spans
             for r in rejected:
                 self.report.record_rejection(
                     RejectedRequest(request=r, rejected_at_s=clock)
                 )
+                if spans is not None:
+                    spans.emit(
+                        r.req_id,
+                        "rejected",
+                        r.arrival_s,
+                        clock - r.arrival_s,
+                        node=self.node_id,
+                        model=r.model,
+                    )
             taken = {id(r) for r in admitted} | {id(r) for r in rejected}
             self.queue = [r for r in self.queue if id(r) not in taken]
             if admitted:
                 self.in_flight = admitted
                 self._dispatch_s = clock
+                self._service_s = service
                 self.busy_until = clock + service
                 self.busy_s += service
+                if spans is not None:
+                    for r in admitted:
+                        spans.emit(
+                            r.req_id,
+                            "queued",
+                            r.arrival_s,
+                            clock - r.arrival_s,
+                            node=self.node_id,
+                            batch=len(admitted),
+                            model=r.model,
+                        )
                 return self.busy_until
         return None
 
     def finish_batch(self, clock: float) -> None:
         """Record the running batch's completions at ``clock``."""
+        spans = self.obs_spans
         for r in self.in_flight:
             self.report.record_completion(
                 CompletedRequest(
@@ -172,6 +199,26 @@ class ClusterNode:
                     finish_s=clock,
                     batch=len(self.in_flight),
                 )
+            )
+            if spans is not None:
+                spans.emit(
+                    r.req_id,
+                    "serve",
+                    self._dispatch_s,
+                    clock - self._dispatch_s,
+                    node=self.node_id,
+                    batch=len(self.in_flight),
+                    model=r.model,
+                )
+        if spans is not None and self.in_flight:
+            spans.emit(
+                -1,
+                "batch",
+                self._dispatch_s,
+                self._service_s,
+                node=self.node_id,
+                batch=len(self.in_flight),
+                model=self.in_flight[0].model,
             )
         self.in_flight = []
 
@@ -191,8 +238,21 @@ class ClusterNode:
             The lost requests (in-flight first, then queue order).
         """
         lost = list(self.in_flight) + list(self.queue)
+        spans = self.obs_spans
         if self.in_flight:
             self.busy_s -= max(0.0, self.busy_until - clock)
+            if spans is not None:
+                # The truncated execution: dispatch to the failure
+                # instant, never to the scheduled finish.
+                spans.emit(
+                    -1,
+                    "batch",
+                    self._dispatch_s,
+                    clock - self._dispatch_s,
+                    node=self.node_id,
+                    batch=len(self.in_flight),
+                    model=self.in_flight[0].model,
+                )
             for r in self.in_flight:
                 self.report.record_failure(
                     FailedRequest(
@@ -202,6 +262,15 @@ class ClusterNode:
                         reason="in-flight-lost",
                     )
                 )
+                if spans is not None:
+                    spans.emit(
+                        r.req_id,
+                        "failed",
+                        r.arrival_s,
+                        clock - r.arrival_s,
+                        node=self.node_id,
+                        model=r.model,
+                    )
         for r in self.queue:
             self.report.record_failure(
                 FailedRequest(
@@ -211,6 +280,15 @@ class ClusterNode:
                     reason="queue-dropped",
                 )
             )
+            if spans is not None:
+                spans.emit(
+                    r.req_id,
+                    "failed",
+                    r.arrival_s,
+                    clock - r.arrival_s,
+                    node=self.node_id,
+                    model=r.model,
+                )
         self.queue = []
         self.in_flight = []
         self.busy_until = clock

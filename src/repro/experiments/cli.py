@@ -31,13 +31,31 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="also render each experiment's figure-shaped ASCII chart",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="trace obs-aware experiments (serve-observe) and write the "
+        "Chrome trace_event JSON here (chrome://tracing / Perfetto)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the kernel during obs-aware experiments and print "
+        "the per-EventKind handler breakdown afterwards",
+    )
     args = parser.parse_args(argv)
     ids = sorted(EXPERIMENTS) if args.ids == ["all"] else args.ids
+    obs = None
+    if args.trace_out or args.profile:
+        from repro.obs import RunObserver
+
+        obs = RunObserver.full() if args.trace_out else RunObserver.profiling()
     failed = []
     for eid in ids:
         t0 = time.time()
         try:
-            result = run_experiment(eid, fast=args.fast)
+            result = run_experiment(eid, fast=args.fast, obs=obs)
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
@@ -48,6 +66,11 @@ def main(argv: List[str] | None = None) -> int:
         print(f"[{eid} finished in {time.time() - t0:.1f}s]\n")
         if not result.all_checks_pass:
             failed.append(eid)
+    if obs is not None and args.trace_out and obs.spans is not None:
+        n = obs.spans.write_chrome_trace(args.trace_out)
+        print(f"wrote {n} trace events to {args.trace_out}")
+    if obs is not None and args.profile and obs.profile is not None:
+        print(obs.profile.profile().summary())
     if failed:
         print(f"shape checks FAILED for: {', '.join(failed)}", file=sys.stderr)
         return 1

@@ -85,6 +85,7 @@ class ExperimentResult:
             cost_bars,
             grouped_bars,
             line_plot,
+            phase_breakdown,
             scaling_plot,
             stacked_bars,
             timeline_plot,
@@ -106,4 +107,6 @@ class ExperimentResult:
             return timeline_plot(rows, **spec)
         if kind == "cost":
             return cost_bars(rows, **spec)
+        if kind == "phases":
+            return phase_breakdown(rows, **spec)
         raise ValueError(f"unknown chart kind {kind!r}")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict
 
 from repro.experiments.common import ExperimentResult
@@ -24,6 +25,7 @@ from repro.experiments import (
     serve_cluster,
     serve_genai,
     serve_hetero,
+    serve_observe,
     serve_online,
     serve_scale,
 )
@@ -51,15 +53,29 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "serve-hetero": serve_hetero.run,
     "serve-scale": serve_scale.run,
     "serve-chaos": serve_chaos.run,
+    "serve-observe": serve_observe.run,
 }
 
 
-def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
-    """Run one experiment by id (e.g. ``"fig06"``)."""
+def run_experiment(
+    experiment_id: str, fast: bool = False, obs=None
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig06"``).
+
+    Args:
+        experiment_id: Registry key of the experiment.
+        fast: Shrink workloads for smoke runs.
+        obs: Optional :class:`~repro.obs.RunObserver` forwarded to
+            runners that accept one (currently ``serve-observe``) so the
+            CLI can export the trace / print the profile afterwards;
+            silently ignored by runners that take no ``obs`` argument.
+    """
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError as exc:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from exc
+    if obs is not None and "obs" in inspect.signature(runner).parameters:
+        return runner(fast=fast, obs=obs)
     return runner(fast=fast)

@@ -67,6 +67,7 @@ class SeqState:
         "last_token_s",
         "reserved",
         "preemptions",
+        "preempted_at",
         "done",
     )
 
@@ -79,6 +80,10 @@ class SeqState:
         #: KV tokens currently reserved for this sequence.
         self.reserved = 0
         self.preemptions = 0
+        #: Instant of the most recent preemption while re-queued, else
+        #: ``None`` — distinguishes a "preempted" wait span from the
+        #: first "queued" wait when tracing.
+        self.preempted_at: Optional[float] = None
         self.done = False
 
     @property
@@ -227,13 +232,25 @@ class GenerativeEngine:
     # The run loop
     # ------------------------------------------------------------------ #
 
-    def run(self, requests: Iterable[GenRequest], record: str = "full") -> GenReport:
+    def run(
+        self,
+        requests: Iterable[GenRequest],
+        record: str = "full",
+        obs=None,
+    ) -> GenReport:
         """Serve an arrival stream; return the TTFT/ITL/goodput report.
 
         Args:
             requests: Generation requests in any order (sorted here).
             record: ``"full"`` or ``"streaming"`` (see
                 :class:`~repro.genai.report.GenReport`).
+            obs: Optional :class:`~repro.obs.RunObserver` — per-sequence
+                lifecycle spans (queued / prefill / preempted /
+                sequence / rejected), per-phase engine spans whose
+                durations sum *exactly* to ``report.busy_s``, and kernel
+                self-profiling when a profiler is attached.  Default
+                off; a traced run's report is identical to an untraced
+                one.
 
         Returns:
             The finished report, including KV high-water and peak queue
@@ -246,6 +263,8 @@ class GenerativeEngine:
         report.kv_capacity_tokens = kv.capacity_tokens
         if not ordered:
             return report
+        spans = obs.spans if obs is not None else None
+        model = self.config.step_key
         kernel = DiscreteEventKernel()
         kernel.preload(
             Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
@@ -269,6 +288,15 @@ class GenerativeEngine:
                     preemptions=s.preemptions,
                 )
             )
+            if spans is not None:
+                spans.emit(
+                    s.request.req_id,
+                    "sequence",
+                    s.request.arrival_s,
+                    now - s.request.arrival_s,
+                    model=model,
+                    tokens=s.emitted,
+                )
 
         def maybe_start(now: float) -> None:
             # One phase in flight at a time; joins happen at phase
@@ -284,11 +312,33 @@ class GenerativeEngine:
                     assert head is s  # strict-FIFO prefix by construction
                     kv.reserve(s.admit_tokens)
                     s.reserved = s.admit_tokens
+                    if spans is not None:
+                        if s.preempted_at is not None:
+                            spans.emit(
+                                s.request.req_id,
+                                "preempted",
+                                s.preempted_at,
+                                now - s.preempted_at,
+                                batch=len(joiners),
+                                model=model,
+                                kv_tokens=s.admit_tokens,
+                            )
+                        else:
+                            spans.emit(
+                                s.request.req_id,
+                                "queued",
+                                s.request.arrival_s,
+                                now - s.request.arrival_s,
+                                batch=len(joiners),
+                                model=model,
+                                kv_tokens=s.admit_tokens,
+                            )
+                    s.preempted_at = None
                 busy = True
                 kernel.schedule(
                     now + self.prefill_seconds(joiners),
                     EventKind.PREFILL,
-                    payload=joiners,
+                    payload=(joiners, now),
                 )
             elif running:
                 # Each active sequence caches one more token this step;
@@ -301,6 +351,7 @@ class GenerativeEngine:
                     kv.release(victim.reserved)
                     victim.reserved = 0
                     victim.preemptions += 1
+                    victim.preempted_at = now
                     report.preemptions += 1
                     waiting.appendleft(victim)
                     if len(waiting) > report.peak_waiting:
@@ -313,7 +364,7 @@ class GenerativeEngine:
                 kernel.schedule(
                     now + self.decode_seconds(max(1, charged), running),
                     EventKind.DECODE_STEP,
-                    payload=list(running),
+                    payload=(list(running), now, max(1, charged)),
                 )
 
         def on_arrivals(now: float, events: List[Event]) -> None:
@@ -323,6 +374,15 @@ class GenerativeEngine:
                     # Could never run: even alone it would overflow the
                     # cache (or thrash forever under preemption).
                     report.record_rejection(GenRejection(r, rejected_at_s=now))
+                    if spans is not None:
+                        spans.emit(
+                            r.req_id,
+                            "rejected",
+                            r.arrival_s,
+                            now - r.arrival_s,
+                            model=model,
+                            kv_tokens=r.total_tokens,
+                        )
                     continue
                 waiting.append(SeqState(r))
             if len(waiting) > report.peak_waiting:
@@ -331,10 +391,34 @@ class GenerativeEngine:
 
         def on_prefill(now: float, events: List[Event]) -> None:
             nonlocal busy, width
-            group: List[SeqState] = events[0].payload
+            group, started = events[0].payload
+            report.busy_prefill_s += now - started
+            if spans is not None:
+                # One engine span per prompt pass; its duration is the
+                # *same float* busy_s just accumulated, so the recorded
+                # "prefill-pass" total ties out exactly.
+                spans.emit(
+                    -1,
+                    "prefill-pass",
+                    started,
+                    now - started,
+                    batch=len(group),
+                    model=model,
+                    kv_tokens=kv.used_tokens,
+                )
             fresh_batch = not running
             for s in group:
                 s.emitted += 1
+                if spans is not None:
+                    spans.emit(
+                        s.request.req_id,
+                        "prefill",
+                        started,
+                        now - started,
+                        batch=len(group),
+                        model=model,
+                        tokens=s.request.prompt_tokens + s.emitted,
+                    )
                 if s.first_token_s is None:
                     s.first_token_s = now  # TTFT: the first token streams
                 else:
@@ -354,8 +438,21 @@ class GenerativeEngine:
 
         def on_decode(now: float, events: List[Event]) -> None:
             nonlocal busy
+            active, started, charged = events[0].payload
+            report.busy_decode_s += now - started
+            if spans is not None:
+                spans.emit(
+                    -1,
+                    "decode-step",
+                    started,
+                    now - started,
+                    batch=charged,
+                    model=model,
+                    kv_tokens=kv.used_tokens,
+                    tokens=len(active),
+                )
             finished = False
-            for s in events[0].payload:
+            for s in active:
                 s.emitted += 1
                 report.record_itl(now - s.last_token_s)
                 s.last_token_s = now
@@ -372,9 +469,18 @@ class GenerativeEngine:
                 EventKind.ARRIVAL: on_arrivals,
                 EventKind.PREFILL: on_prefill,
                 EventKind.DECODE_STEP: on_decode,
-            }
+            },
+            obs=obs,
         )
         report.sim_end_s = end
         report.kv_high_water_tokens = kv.high_water_tokens
-        report.events_processed = kernel.processed
+        kernel.finalize(report)
+        if obs is not None and obs.telemetry is not None:
+            obs.telemetry.record_counts(
+                "genai",
+                served=report.served,
+                rejected=report.rejected_count,
+                preempted=report.preemptions,
+                tokens=report.tokens_out,
+            )
         return report

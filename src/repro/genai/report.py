@@ -102,6 +102,12 @@ class GenReport:
         #: Kernel events the run processed (engine-filled) — the
         #: denominator benchmarks divide wall time by.
         self.events_processed = 0
+        #: Simulated seconds spent in prompt passes (engine-filled).
+        #: Kept per phase so traced ``prefill-pass`` spans tie out with
+        #: ``==`` — one accumulator per phase, same accumulation order.
+        self.busy_prefill_s = 0.0
+        #: Simulated seconds spent in decode boundaries (engine-filled).
+        self.busy_decode_s = 0.0
         self._ttft = StreamStats()
         self._itl = StreamStats()
         self._rejected = 0
@@ -197,6 +203,13 @@ class GenReport:
         """Inter-token gaps recorded (= tokens_out − first tokens −
         resumed-prefill emissions folded in; both modes)."""
         return self._itl.count
+
+    @property
+    def busy_s(self) -> float:
+        """Simulated seconds a phase (prefill pass or decode boundary)
+        was in flight — ``busy_prefill_s + busy_decode_s``, the busy
+        total a traced run's engine spans reproduce bit-for-bit."""
+        return self.busy_prefill_s + self.busy_decode_s
 
     @property
     def tokens_per_s(self) -> float:

@@ -1,0 +1,361 @@
+"""Request-span tracing: where every request's lifetime actually went.
+
+The report layers answer *how the run did* (p99, goodput, $/hr); none of
+them can answer *why this request was slow*.  A span recorder turns the
+kernel's events into per-request lifecycle segments — ``queued`` →
+``prefill``/``serve``/``decode`` → ``sequence``/``failed``/``rejected``,
+with ``preempted`` gaps in between — each carrying the node id, batch
+width, and KV high-water it ran under.  Three consumers sit on top:
+
+* :meth:`SpanRecorder.chrome_trace` — the Chrome ``trace_event`` JSON
+  format, loadable in ``chrome://tracing`` or Perfetto, one lane (tid)
+  per request and one per engine/node execution stream;
+* :meth:`SpanRecorder.waterfall` — a plain-text waterfall of the N
+  slowest requests for terminals and CI logs;
+* the exact-accounting totals (:meth:`SpanRecorder.count` /
+  :meth:`SpanRecorder.total_s`) the ``serve-observe`` experiment ties
+  against report aggregates with ``==``, not ``approx`` — spans carry
+  the *same floats* the reports compute from, accumulated in the same
+  order.
+
+Memory stays flat on streaming runs: retained spans live in a ring
+(``deque(maxlen=cap)``), while the per-phase counters keep exact totals
+across evictions — a 10M-request run keeps its last ``cap`` spans and
+its full accounting.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, List, NamedTuple, Optional, Tuple
+
+__all__ = ["Span", "SpanRecorder", "validate_chrome_trace"]
+
+#: Lifecycle phases a request-level span may carry (engine-level
+#: execution spans — ``batch``, ``prefill-pass``, ``decode-step`` — use
+#: ``req_id=-1`` and describe the machine, not one request).
+REQUEST_PHASES = (
+    "queued",
+    "serve",
+    "prefill",
+    "decode",
+    "sequence",
+    "rejected",
+    "failed",
+    "preempted",
+)
+
+#: One-glyph legend used by the text waterfall.
+_PHASE_GLYPHS = {
+    "queued": ".",
+    "serve": "s",
+    "prefill": "p",
+    "decode": "d",
+    "sequence": "-",
+    "rejected": "x",
+    "failed": "!",
+    "preempted": "~",
+}
+
+
+class Span(NamedTuple):
+    """One closed interval of a request's (or an engine's) lifetime.
+
+    Durations are stored, not recomputed: ``dur_s`` is the exact float
+    the emitting engine accounted with, so summing spans reproduces
+    report totals bit-for-bit.
+    """
+
+    #: Request/sequence id the span belongs to; ``-1`` for engine-level
+    #: execution spans (a dispatched batch, a prefill pass, a decode step).
+    req_id: int
+    #: Lifecycle phase label (see :data:`REQUEST_PHASES`) or an
+    #: engine-level label (``batch``, ``prefill-pass``, ``decode-step``).
+    phase: str
+    #: Simulated start instant, seconds.
+    start_s: float
+    #: Exact duration in seconds as the engine accounted it.
+    dur_s: float
+    #: Node id the span ran on (0 for single-node engines).
+    node: int = 0
+    #: Batch width / charged GEMM width the span executed under.
+    batch: int = 1
+    #: Model name, where the emitting layer knows one.
+    model: str = ""
+    #: KV-cache tokens reserved when the span closed (genai spans).
+    kv_tokens: int = 0
+    #: Tokens emitted by/within the span (genai spans).
+    tokens: int = 0
+
+    @property
+    def end_s(self) -> float:
+        """Simulated end instant (``start_s + dur_s``)."""
+        return self.start_s + self.dur_s
+
+
+class SpanRecorder:
+    """Ring-buffered span sink with eviction-proof phase accounting.
+
+    Args:
+        cap: Maximum retained spans.  Emission past the cap evicts the
+            oldest span (``n_evicted`` counts them) while the per-phase
+            count/duration totals keep accumulating exactly — streaming
+            runs stay flat-memory without losing their accounting.
+    """
+
+    __slots__ = ("cap", "n_emitted", "n_evicted", "_ring", "_totals")
+
+    def __init__(self, cap: int = 100_000) -> None:
+        if cap <= 0:
+            raise ValueError("cap must be positive")
+        self.cap = int(cap)
+        #: Spans emitted over the recorder's lifetime (evicted included).
+        self.n_emitted = 0
+        #: Spans pushed out of the ring by later emissions.
+        self.n_evicted = 0
+        self._ring: Deque[Span] = deque(maxlen=self.cap)
+        self._totals: Dict[str, List[float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecorder(cap={self.cap}, retained={len(self._ring)}, "
+            f"emitted={self.n_emitted}, evicted={self.n_evicted})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Emission
+    # ------------------------------------------------------------------ #
+
+    def emit(
+        self,
+        req_id: int,
+        phase: str,
+        start_s: float,
+        dur_s: float,
+        node: int = 0,
+        batch: int = 1,
+        model: str = "",
+        kv_tokens: int = 0,
+        tokens: int = 0,
+    ) -> None:
+        """Record one span (the engines' only write path).
+
+        Args:
+            req_id: Request/sequence id, or ``-1`` for engine-level spans.
+            phase: Phase label (``queued``, ``serve``, ``prefill-pass``, ...).
+            start_s: Simulated start instant.
+            dur_s: Exact duration the engine accounted (may be 0.0 — an
+                instantaneous rejection).
+            node: Node id the span ran on.
+            batch: Batch width / charged GEMM width.
+            model: Model name when known.
+            kv_tokens: KV tokens reserved when the span closed.
+            tokens: Tokens emitted within the span.
+        """
+        if len(self._ring) == self.cap:
+            self.n_evicted += 1
+        self._ring.append(
+            Span(req_id, phase, start_s, dur_s, node, batch, model, kv_tokens, tokens)
+        )
+        self.n_emitted += 1
+        tot = self._totals.get(phase)
+        if tot is None:
+            tot = self._totals[phase] = [0, 0.0]
+        tot[0] += 1
+        tot[1] += dur_s
+
+    # ------------------------------------------------------------------ #
+    # Eviction-proof accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def spans(self) -> List[Span]:
+        """Retained spans, oldest first (at most ``cap`` of them)."""
+        return list(self._ring)
+
+    def phases(self) -> List[str]:
+        """Phase labels seen so far, in first-emission order."""
+        return list(self._totals)
+
+    def count(self, phase: str) -> int:
+        """Spans emitted with ``phase`` — exact across ring eviction."""
+        tot = self._totals.get(phase)
+        return int(tot[0]) if tot is not None else 0
+
+    def total_s(self, phase: str) -> float:
+        """Summed duration of every ``phase`` span ever emitted — exact
+        across ring eviction, accumulated in emission order (so it
+        equals the emitting report's own running total bit-for-bit)."""
+        tot = self._totals.get(phase)
+        return tot[1] if tot is not None else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Per-request views (over retained spans)
+    # ------------------------------------------------------------------ #
+
+    def by_request(self) -> Dict[int, List[Span]]:
+        """Retained request-level spans grouped by ``req_id`` (engine-level
+        ``req_id=-1`` spans excluded), each group in emission order."""
+        out: Dict[int, List[Span]] = {}
+        for s in self._ring:
+            if s.req_id < 0:
+                continue
+            out.setdefault(s.req_id, []).append(s)
+        return out
+
+    def slowest(self, n: int = 8) -> List[Tuple[int, float, List[Span]]]:
+        """The ``n`` slowest retained requests.
+
+        Args:
+            n: How many requests to return.
+
+        Returns:
+            ``(req_id, extent_s, spans)`` tuples sorted by descending
+            extent, where extent is first span start to last span end.
+        """
+        ranked = [
+            (rid, max(s.end_s for s in group) - min(s.start_s for s in group), group)
+            for rid, group in self.by_request().items()
+        ]
+        ranked.sort(key=lambda t: (-t[1], t[0]))
+        return ranked[:n]
+
+    def waterfall(self, n: int = 8, width: int = 64) -> str:
+        """Plain-text waterfall of the ``n`` slowest retained requests.
+
+        Args:
+            n: Requests to render (slowest first).
+            width: Bar width in character cells.
+
+        Returns:
+            A multi-line chart: one lane per request, phases drawn with
+            the glyph legend, time scaled to the rendered window.
+        """
+        slow = self.slowest(n)
+        if not slow:
+            return "(no request spans retained)"
+        t0 = min(min(s.start_s for s in group) for _, _, group in slow)
+        t1 = max(max(s.end_s for s in group) for _, _, group in slow)
+        window = max(t1 - t0, 1e-12)
+        legend = "  ".join(
+            f"{g}={p}" for p, g in _PHASE_GLYPHS.items()
+            if any(s.phase == p for _, _, group in slow for s in group)
+        )
+        lines = [
+            f"waterfall: {len(slow)} slowest requests over "
+            f"[{t0:.3f}s, {t1:.3f}s]",
+            f"legend: {legend}",
+        ]
+        id_w = max(len(str(rid)) for rid, _, _ in slow)
+        for rid, extent, group in slow:
+            cells = [" "] * width
+            # Longest spans first: whole-lifetime spans ("sequence")
+            # paint the background, shorter phases overwrite on top.
+            for s in sorted(group, key=lambda s: (-s.dur_s, s.start_s)):
+                glyph = _PHASE_GLYPHS.get(s.phase, "?")
+                lo = int((s.start_s - t0) / window * (width - 1))
+                hi = int((s.end_s - t0) / window * (width - 1))
+                for i in range(lo, max(hi, lo) + 1):
+                    cells[i] = glyph
+            lines.append(
+                f"req {str(rid).rjust(id_w)} |{''.join(cells)}| "
+                f"{extent * 1e3:.1f} ms"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Chrome trace_event export
+    # ------------------------------------------------------------------ #
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """Retained spans as a Chrome ``trace_event`` payload.
+
+        Complete (``ph="X"``) events with microsecond timestamps, sorted
+        so ``ts`` is monotonic; ``pid`` is the node, ``tid`` the request
+        (engine-level spans land on ``tid=0``).  The payload loads
+        directly in ``chrome://tracing`` and Perfetto.
+        """
+        events: List[Dict[str, Any]] = []
+        for s in self._ring:
+            args: Dict[str, Any] = {"batch": s.batch}
+            if s.model:
+                args["model"] = s.model
+            if s.kv_tokens:
+                args["kv_tokens"] = s.kv_tokens
+            if s.tokens:
+                args["tokens"] = s.tokens
+            events.append(
+                {
+                    "name": s.phase,
+                    "cat": "request" if s.req_id >= 0 else "engine",
+                    "ph": "X",
+                    "ts": s.start_s * 1e6,
+                    "dur": s.dur_s * 1e6,
+                    "pid": s.node,
+                    "tid": s.req_id if s.req_id >= 0 else 0,
+                    "args": args,
+                }
+            )
+        events.sort(key=lambda e: (e["ts"], e["tid"]))
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Write :meth:`chrome_trace` as JSON.
+
+        Args:
+            path: Output file path.
+
+        Returns:
+            The number of trace events written.
+        """
+        payload = self.chrome_trace()
+        with open(path, "w") as f:
+            json.dump(payload, f)
+            f.write("\n")
+        return len(payload["traceEvents"])
+
+
+def validate_chrome_trace(payload: Any) -> int:
+    """Validate a payload against the Chrome ``trace_event`` schema.
+
+    The checks the CI smoke enforces: a ``traceEvents`` list whose every
+    event carries ``name``/``ph``/``ts``/``dur``/``pid``/``tid``, with
+    ``ph="X"``, numeric non-negative ``ts``/``dur``, integer ids, and
+    globally monotonic (non-decreasing) ``ts``.
+
+    Args:
+        payload: A parsed trace JSON object.
+
+    Returns:
+        The number of validated events.
+
+    Raises:
+        ValueError: On any schema violation.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("trace payload must be an object with 'traceEvents'")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    prev_ts: Optional[float] = None
+    for i, ev in enumerate(events):
+        for field in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if field not in ev:
+                raise ValueError(f"event {i} is missing {field!r}")
+        if ev["ph"] != "X":
+            raise ValueError(f"event {i}: expected complete events (ph='X')")
+        ts, dur = ev["ts"], ev["dur"]
+        if not isinstance(ts, (int, float)) or not isinstance(dur, (int, float)):
+            raise ValueError(f"event {i}: ts/dur must be numeric")
+        if ts < 0 or dur < 0:
+            raise ValueError(f"event {i}: ts/dur must be non-negative")
+        if not isinstance(ev["pid"], int) or not isinstance(ev["tid"], int):
+            raise ValueError(f"event {i}: pid/tid must be integers")
+        if prev_ts is not None and ts < prev_ts:
+            raise ValueError(f"event {i}: ts went backwards ({ts} < {prev_ts})")
+        prev_ts = ts
+    return len(events)

@@ -4,6 +4,7 @@ from repro.reporting.charts import (
     cost_bars,
     grouped_bars,
     line_plot,
+    phase_breakdown,
     scaling_plot,
     stacked_bars,
     timeline_plot,
@@ -13,6 +14,7 @@ __all__ = [
     "cost_bars",
     "grouped_bars",
     "line_plot",
+    "phase_breakdown",
     "scaling_plot",
     "stacked_bars",
     "timeline_plot",

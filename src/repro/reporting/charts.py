@@ -18,6 +18,7 @@ __all__ = [
     "scaling_plot",
     "timeline_plot",
     "cost_bars",
+    "phase_breakdown",
 ]
 
 _GLYPHS = "#=+*o%@&"
@@ -226,6 +227,43 @@ def cost_bars(
             lines.append(
                 f"{label} |{('#' * cells).ljust(width)}| {float(v):.2f} {unit}"
             )
+    return "\n".join(lines)
+
+
+def phase_breakdown(
+    rows: Sequence[Dict[str, Any]],
+    phase_key: str = "phase",
+    count_key: str = "count",
+    total_key: str = "total_s",
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Per-phase time breakdown: one bar per lifecycle phase.
+
+    The observability shape of the ``serve-observe`` experiment: each row
+    is one span phase (``queued``, ``serve``, ``prefill-pass``, ...) with
+    its span count and exact summed duration; bars scale to the largest
+    phase and each line states the phase's share of the summed total, so
+    where the run's simulated time went is readable at a glance.
+    """
+    if not rows:
+        return "(no data)"
+    vals = [float(r.get(total_key, 0.0) or 0.0) for r in rows]
+    peak = max(vals) or 1.0
+    grand = sum(vals) or 1.0
+    label_w = max(len(str(r.get(phase_key, ""))) for r in rows)
+    count_w = max(len(str(r.get(count_key, 0))) for r in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r, v in zip(rows, vals):
+        label = str(r.get(phase_key, "")).ljust(label_w)
+        n = str(r.get(count_key, 0)).rjust(count_w)
+        cells = int(round(v / peak * width))
+        lines.append(
+            f"{label} x{n} |{('#' * cells).ljust(width)}| "
+            f"{_fmt(v)}s ({v / grand * 100:.1f}%)"
+        )
     return "\n".join(lines)
 
 

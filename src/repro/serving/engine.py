@@ -168,6 +168,10 @@ class ServingReport:
         self.policy = policy
         self.sim_end_s = sim_end_s
         self.stats = stats if stats is not None else MetricsRecorder(record=record)
+        #: Kernel events the run processed (set by the engine via
+        #: :meth:`~repro.sim.kernel.DiscreteEventKernel.finalize`) — the
+        #: denominator benchmarks divide wall time by.
+        self.events_processed = 0
 
     @property
     def record(self) -> str:
@@ -608,7 +612,11 @@ class OnlineServingEngine:
     # ------------------------------------------------------------------ #
 
     def run(
-        self, requests: Iterable[Request], policy: str, record: str = "full"
+        self,
+        requests: Iterable[Request],
+        policy: str,
+        record: str = "full",
+        obs=None,
     ) -> ServingReport:
         """Serve an arrival-ordered request stream under one policy.
 
@@ -621,9 +629,16 @@ class OnlineServingEngine:
 
         ``record="streaming"`` accumulates flat-memory aggregates instead
         of per-request lists (see :class:`~repro.sim.stats.MetricsRecorder`).
+
+        ``obs`` takes an optional :class:`~repro.obs.RunObserver`: spans
+        land as ``queued``/``serve``/``rejected`` per request plus one
+        ``batch`` execution span per dispatch, carrying the exact floats
+        this report accounts with (span sums tie out with ``==``).  The
+        default runs the original untraced path.
         """
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        spans = obs.spans if obs is not None else None
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
         report = ServingReport(policy=policy, record=record)
         if not ordered:
@@ -660,6 +675,14 @@ class OnlineServingEngine:
                     report.record_rejection(
                         RejectedRequest(request=r, rejected_at_s=now)
                     )
+                    if spans is not None:
+                        spans.emit(
+                            r.req_id,
+                            "rejected",
+                            r.arrival_s,
+                            now - r.arrival_s,
+                            model=r.model,
+                        )
                 # Remove by object identity: req_ids are caller-chosen
                 # and may collide across merged streams.
                 removed = {id(r) for r in batch} | {id(r) for r in rejected_now}
@@ -686,14 +709,49 @@ class OnlineServingEngine:
                         batch=len(batch),
                     )
                 )
+                if spans is not None:
+                    spans.emit(
+                        r.req_id,
+                        "queued",
+                        r.arrival_s,
+                        dispatched - r.arrival_s,
+                        batch=len(batch),
+                        model=r.model,
+                    )
+                    spans.emit(
+                        r.req_id,
+                        "serve",
+                        dispatched,
+                        now - dispatched,
+                        batch=len(batch),
+                        model=r.model,
+                    )
+            if spans is not None:
+                spans.emit(
+                    -1,
+                    "batch",
+                    dispatched,
+                    now - dispatched,
+                    batch=len(batch),
+                    model=batch[0].model,
+                )
             busy = False
             last_finish = now
             try_dispatch(now)
 
         kernel.run(
-            {EventKind.ARRIVAL: on_arrivals, EventKind.FINISH: on_finish}
+            {EventKind.ARRIVAL: on_arrivals, EventKind.FINISH: on_finish},
+            obs=obs,
         )
         report.sim_end_s = max(last_finish, ordered[-1].arrival_s)
+        kernel.finalize(report)
+        if obs is not None and obs.telemetry is not None:
+            obs.telemetry.record_counts(
+                "engine",
+                served=report.served,
+                rejected=report.rejected_count,
+                failed=report.failed_count,
+            )
         return report
 
     def run_policies(

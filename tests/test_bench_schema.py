@@ -1,0 +1,98 @@
+"""The BENCH_*.json perf artifacts follow the pinned schema.
+
+``benchmarks/`` is not a package (pytest collects it standalone), so the
+schema module is loaded by file path — the same way its conftest loads
+it — and then pointed at every committed artifact.  A BENCH file that
+drifts back to a legacy key (``mean_s``, ``events_per_sec``, ...) fails
+here, in tier 1, not in the next perf-diff review.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_schema", BENCH_DIR / "schema.py"
+)
+schema = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(schema)
+
+BENCH_FILES = sorted(BENCH_DIR.glob("BENCH_*.json"))
+
+
+def test_artifacts_exist():
+    """The perf trajectory is committed (one artifact per bench module)."""
+    assert len(BENCH_FILES) >= 20
+    assert len(BENCH_FILES) == len(sorted(BENCH_DIR.glob("bench_*.py")))
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+def test_committed_artifact_validates(path):
+    """Every committed BENCH_*.json parses and passes the schema gate."""
+    payload = json.loads(path.read_text())
+    n = schema.validate_bench_payload(payload)
+    assert n >= 1
+    assert payload["bench"] == path.stem[len("BENCH_"):]
+
+
+def test_machine_tag_shape():
+    """The host tag is a stable ``os-arch-pyX.Y`` triple."""
+    tag = schema.machine_tag()
+    assert len(tag.split("-")) == 3 and tag == tag.lower()
+    assert tag.split("-")[2].startswith("py")
+
+
+def test_migrate_entry_renames_every_legacy_key():
+    """Each legacy alias lands on its normalized name, values intact."""
+    legacy = {
+        "mean_s": 1.5,
+        "events_per_sec": 10,
+        "requests_per_sec": 20,
+        "tokens_per_wall_sec": 30,
+        "served": 7,
+    }
+    out = schema.migrate_entry(legacy)
+    assert out == {
+        "wall_s": 1.5,
+        "events_per_s": 10,
+        "requests_per_s": 20,
+        "tokens_per_s": 30,
+        "served": 7,
+    }
+
+
+def test_migrate_entry_prefers_normalized_key():
+    """When both spellings exist the normalized one wins."""
+    out = schema.migrate_entry({"mean_s": 1.0, "wall_s": 2.0})
+    assert out == {"wall_s": 2.0}
+
+
+def test_validate_rejects_legacy_and_malformed_payloads():
+    """The gate raises on every schema violation it documents."""
+    good = {"bench": "x", "machine": "m", "entries": {"e": {"wall_s": 0.1}}}
+    assert schema.validate_bench_payload(good) == 1
+    bad = [
+        {"bench": "x", "entries": {}},  # no machine
+        {"bench": "x", "machine": "m", "entries": {"e": {}}},  # no wall_s
+        {"bench": "x", "machine": "m", "entries": {"e": {"wall_s": -1.0}}},
+        {"bench": "x", "machine": "m", "entries": {"e": {"wall_s": True}}},
+        {
+            "bench": "x",
+            "machine": "m",
+            "entries": {"e": {"wall_s": 0.1, "mean_s": 0.1}},  # legacy key
+        },
+        {
+            "bench": "x",
+            "machine": "m",
+            "entries": {"e": {"wall_s": 0.1, "rows": [1]}},  # non-scalar
+        },
+    ]
+    for payload in bad:
+        with pytest.raises(ValueError):
+            schema.validate_bench_payload(payload)

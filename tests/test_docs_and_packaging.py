@@ -105,18 +105,32 @@ class TestDocs:
         assert "serve-genai" in snippet
         assert "serve-genai" in EXPERIMENTS
 
+    def test_readme_observe_quickstart_snippet(self):
+        """The tracing quickstart exists, is a bash block, and points at
+        the registered serve-observe experiment (CI executes it)."""
+        from repro.experiments.registry import EXPERIMENTS
+
+        readme = (ROOT / "README.md").read_text()
+        m = re.search(r"## Tracing a run.*?```bash\n(.*?)```", readme, re.S)
+        assert m, "README is missing the 'Tracing a run' quickstart"
+        snippet = m.group(1)
+        assert "serve-observe" in snippet
+        assert "--trace-out" in snippet
+        assert "serve-observe" in EXPERIMENTS
+
     def test_cluster_autoscale_public_docstrings(self):
         """Every public ``__all__`` member of the fleet packages — and
         every public method/property it defines — documents itself (the
         docstring-audit gate for `repro.sim`, `repro.cluster`,
-        `repro.autoscale`, and `repro.genai`)."""
+        `repro.autoscale`, `repro.genai`, and `repro.obs`)."""
         import repro.autoscale
         import repro.cluster
         import repro.genai
+        import repro.obs
         import repro.sim
 
         missing = []
-        for pkg in (repro.sim, repro.cluster, repro.autoscale, repro.genai):
+        for pkg in (repro.sim, repro.cluster, repro.autoscale, repro.genai, repro.obs):
             for name in pkg.__all__:
                 obj = getattr(pkg, name)
                 if not (isinstance(obj, type) or callable(obj)):
@@ -170,6 +184,9 @@ class TestDocs:
             "repro.genai.schedulers",
             "repro.genai.engine",
             "repro.genai.report",
+            "repro.obs.trace",
+            "repro.obs.telemetry",
+            "repro.obs.profile",
         ):
             m = importlib.import_module(mod)
             assert m.__doc__ and len(m.__doc__) > 40, mod

@@ -32,6 +32,7 @@ class TestRegistry:
             "serve-hetero",
             "serve-chaos",
             "serve-scale",
+            "serve-observe",
         }
 
     def test_unknown_id_raises(self):
