@@ -7,7 +7,12 @@ was measured.  This module pins the schema every artifact follows:
 * top level: ``{"bench": <name>, "machine": <tag>, "entries": {...}}``;
 * each entry: ``{"wall_s": <mean seconds per round>, **metrics}`` with
   throughput metrics under the normalized names ``events_per_s`` /
-  ``requests_per_s`` / ``tokens_per_s``.
+  ``requests_per_s`` / ``tokens_per_s``;
+* any entry reporting ``events_per_s`` must also carry a boolean
+  ``fast_path`` saying which event loop produced the number — the
+  struct-of-arrays path (``repro.sim.fast``) or the reference
+  heap-per-event loop.  An events/s figure without that bit is
+  uninterpretable across PR 9, where the two paths differ by ~10x.
 
 :func:`validate_bench_payload` is the single gate (the conftest writer
 validates before writing, ``tests/test_bench_schema.py`` validates every
@@ -60,6 +65,10 @@ def migrate_entry(entry: Dict[str, Any]) -> Dict[str, Any]:
         if target in out or (target != key and target in entry):
             continue
         out[target] = value
+    if "events_per_s" in out and "fast_path" not in out:
+        # Entries written before PR 9 predate the fast path, so their
+        # events/s figures are reference-loop numbers by construction.
+        out["fast_path"] = False
     return out
 
 
@@ -75,7 +84,8 @@ def validate_bench_payload(payload: Any) -> int:
     Raises:
         ValueError: On a missing/mistyped top-level field, an entry
             without a numeric non-negative ``wall_s``, a legacy metric
-            key, or a non-scalar metric value.
+            key, a non-scalar metric value, or an ``events_per_s``
+            entry without a boolean ``fast_path``.
     """
     if not isinstance(payload, dict):
         raise ValueError("payload must be a JSON object")
@@ -96,4 +106,11 @@ def validate_bench_payload(payload: Any) -> int:
                 )
             if not isinstance(value, (int, float, bool, str)):
                 raise ValueError(f"entry {name!r} metric {key!r} must be scalar")
+        if "events_per_s" in entry and not isinstance(
+            entry.get("fast_path"), bool
+        ):
+            raise ValueError(
+                f"entry {name!r} reports 'events_per_s' without a boolean "
+                "'fast_path' saying which event loop produced it"
+            )
     return len(payload["entries"])

@@ -142,6 +142,9 @@ class ElasticCluster:
         self._kernel: Optional[DiscreteEventKernel] = None
         self._run_stats: Optional[MetricsRecorder] = None
         self._obs_spans = None
+        # True while a fast-path run is live: _spawn then equips every
+        # node (including mid-run provisions) with a FastRecorder.
+        self._fast_run = False
 
     # ------------------------------------------------------------------ #
     # Provisioning model
@@ -195,6 +198,10 @@ class ElasticCluster:
                     record="streaming", parent=self._run_stats
                 ),
             )
+        elif self._fast_run:
+            from repro.sim.fast import FastRecorder
+
+            node.report = ServingReport(policy=node.policy, stats=FastRecorder())
         node.obs_spans = self._obs_spans
         life = NodeLifetime(node_id=nid, ordered_s=clock)
         slot = _NodeSlot(
@@ -282,6 +289,7 @@ class ElasticCluster:
         presorted: bool = False,
         horizon_s: Optional[float] = None,
         obs=None,
+        fast: bool = False,
     ) -> AutoscaleReport:
         """Serve an arrival-ordered stream while ``autoscaler`` resizes the
         fleet every control interval.
@@ -307,6 +315,11 @@ class ElasticCluster:
                 (including ones provisioned mid-run) emits request
                 lifecycle spans, and the kernel self-profiles when a
                 profiler is attached.  Default off.
+            fast: Opt into the :mod:`repro.sim.fast` struct-of-arrays
+                path (bit-identical reports).  Engages for materialized
+                full-recording runs without span tracing on a builtin
+                router; falls back to the event-at-a-time path
+                otherwise.
 
         Returns:
             The :class:`~repro.autoscale.report.AutoscaleReport`.
@@ -315,6 +328,20 @@ class ElasticCluster:
             ValueError: If ``presorted`` without ``horizon_s``.
         """
         self._obs_spans = obs.spans if obs is not None else None
+        _fast = None
+        chooser = None
+        if (
+            fast
+            and not presorted
+            and self.record == "full"
+            and self._obs_spans is None
+        ):
+            from repro.sim import fast as _fast_mod
+
+            chooser = _fast_mod.make_chooser(self.router, self.replicas_for)
+            if chooser is not None:
+                _fast = _fast_mod
+        self._fast_run = _fast is not None
         self._fresh()
         autoscaler.reset()
         kernel = self._kernel
@@ -333,10 +360,11 @@ class ElasticCluster:
             ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
             last_arrival = ordered[-1].arrival_s if ordered else 0.0
             tick_horizon = last_arrival
-            kernel.preload(
-                Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
-                for i, r in enumerate(ordered)
-            )
+            if _fast is None:
+                kernel.preload(
+                    Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
+                    for i, r in enumerate(ordered)
+                )
             schedule_ticks = bool(ordered)
         report = AutoscaleReport(
             policy=self.policy,
@@ -467,17 +495,112 @@ class ElasticCluster:
                 )
             )
 
-        kernel.run(
-            {
-                EventKind.ARRIVAL: on_arrivals,
-                EventKind.FINISH: on_finishes,
-                EventKind.READY: on_readies,
-                EventKind.CONTROL: on_control,
-                EventKind.FAIL: on_fails,
-                EventKind.RECOVER: on_recovers,
-            },
-            obs=obs,
-        )
+        if _fast is not None:
+            _fast.count_run()
+            route = chooser.route
+            slots = self._slots
+            dropped = report.dropped
+
+            def dispatch_fast(slot: _NodeSlot, now: float) -> bool:
+                finish = slot.node.try_dispatch(now)
+                chooser.invalidate_backlogs()
+                if finish is not None:
+                    kernel.schedule(
+                        finish, EventKind.FINISH, slot.node.node_id,
+                        payload=slot.node.epoch,
+                    )
+                    return True
+                return False
+
+            def on_epoch(now: float, lo: int, hi: int) -> bool:
+                state["last_arrival"] = now
+                if hi - lo == 1:
+                    r = ordered[lo]
+                    node = route(r, now)
+                    if node is None:
+                        dropped.append(
+                            FailedRequest(
+                                request=r, failed_at_s=now, reason="unrouted"
+                            )
+                        )
+                        return False
+                    node.queue.append(r)
+                    self._arrived_window += 1
+                    if not node.in_flight:
+                        return dispatch_fast(slots[node.node_id], now)
+                    return False
+                touched: Dict[int, _NodeSlot] = {}
+                for r in ordered[lo:hi]:
+                    node = route(r, now)
+                    if node is None:
+                        dropped.append(
+                            FailedRequest(
+                                request=r, failed_at_s=now, reason="unrouted"
+                            )
+                        )
+                        continue
+                    node.queue.append(r)
+                    self._arrived_window += 1
+                    touched[node.node_id] = slots[node.node_id]
+                scheduled = False
+                for nid in sorted(touched):
+                    if touched[nid].node.idle and dispatch_fast(
+                        touched[nid], now
+                    ):
+                        scheduled = True
+                return scheduled
+
+            def on_finishes_fast(now: float, events: List[Event]) -> None:
+                for ev in events:
+                    slot = slots[ev.entity]
+                    node = slot.node
+                    if ev.payload != node.epoch:
+                        continue  # batch was lost to a failure; stale event
+                    node.report.stats.record_batch(
+                        node._dispatch_s, now, node.in_flight
+                    )
+                    node.in_flight = []
+                    state["last_service_end"] = now
+                    dispatch_fast(slot, now)
+                    if (
+                        slot.state == DRAINING
+                        and node.idle
+                        and not node.queue
+                    ):
+                        self._retire(slot, now)
+
+            def cold(handler):
+                def wrapped(now: float, events: List[Event]) -> None:
+                    handler(now, events)
+                    chooser.invalidate_all()
+
+                return wrapped
+
+            _fast.drain(
+                kernel,
+                _fast.arrival_times(ordered),
+                on_epoch,
+                {
+                    int(EventKind.FINISH): on_finishes_fast,
+                    int(EventKind.READY): cold(on_readies),
+                    int(EventKind.CONTROL): cold(on_control),
+                    int(EventKind.FAIL): cold(on_fails),
+                    int(EventKind.RECOVER): cold(on_recovers),
+                },
+                profiler=getattr(obs, "profile", None) if obs is not None else None,
+            )
+        else:
+            kernel.run(
+                {
+                    EventKind.ARRIVAL: on_arrivals,
+                    EventKind.FINISH: on_finishes,
+                    EventKind.READY: on_readies,
+                    EventKind.CONTROL: on_control,
+                    EventKind.FAIL: on_fails,
+                    EventKind.RECOVER: on_recovers,
+                },
+                obs=obs,
+            )
         # The serving horizon excludes trailing control ticks (controller
         # bookkeeping, not service) — a static-policy run matches the
         # static fleet's sim_end exactly.  Anything still draining,
@@ -524,9 +647,9 @@ class ElasticCluster:
             if streaming:
                 completions += served_now - slot.completed_seen
             else:
-                new_completed = rep.completed[slot.completed_seen :]
-                completions += len(new_completed)
-                window_lats.extend(c.latency_s for c in new_completed)
+                new_lats = rep.stats.new_latencies(slot.completed_seen)
+                completions += len(new_lats)
+                window_lats.extend(new_lats)
             slot.completed_seen = served_now
             rejections += rep.rejected_count - slot.rejected_seen
             slot.rejected_seen = rep.rejected_count

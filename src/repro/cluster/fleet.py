@@ -377,27 +377,35 @@ class Cluster:
         """Nodes hosting ``model``, placement order (primary first)."""
         return [self.nodes[nid] for nid in self.placement.nodes_for(model)]
 
-    def _fresh_nodes(self, fleet_stats: Optional[MetricsRecorder] = None) -> None:
+    def _fresh_nodes(
+        self,
+        fleet_stats: Optional[MetricsRecorder] = None,
+        fast: bool = False,
+    ) -> None:
         for node in self.nodes:
             node.queue = []
             node.in_flight = []
             node.busy_until = 0.0
             node.busy_s = 0.0
             node.epoch = 0
-            node.report = ServingReport(
-                policy=node.policy,
-                stats=MetricsRecorder(
+            if fast:
+                from repro.sim.fast import FastRecorder
+
+                stats: MetricsRecorder = FastRecorder()
+            else:
+                stats = MetricsRecorder(
                     record=self.record,
                     window_s=self.window_s,
                     parent=fleet_stats,
-                ),
-            )
+                )
+            node.report = ServingReport(policy=node.policy, stats=stats)
 
     def run(
         self,
         requests: Iterable[Request],
         failures: Optional[FailureTrace] = None,
         obs=None,
+        fast: bool = False,
     ) -> ClusterReport:
         """Serve an arrival-ordered stream across the fleet.
 
@@ -412,30 +420,48 @@ class Cluster:
                 ``queued``/``serve``/``rejected``/``failed`` request
                 spans and per-dispatch ``batch`` spans, and the kernel
                 self-profiles when a profiler is attached.  Default off.
+            fast: Opt into the :mod:`repro.sim.fast` struct-of-arrays
+                path (bit-identical reports).  Engages for full
+                recording without span tracing on a builtin router;
+                falls back to the event-at-a-time path otherwise.
 
         Returns:
             The fleet-wide :class:`ClusterReport`.
         """
+        spans = obs.spans if obs is not None else None
+        down: set = set()
+        _fast = None
+        chooser = None
+        if fast and self.record == "full" and spans is None:
+            from repro.sim import fast as _fast_mod
+
+            chooser = _fast_mod.make_chooser(
+                self.router,
+                lambda m: [
+                    n for n in self.replicas_for(m) if n.node_id not in down
+                ],
+            )
+            if chooser is not None:
+                _fast = _fast_mod
         fleet_stats: Optional[MetricsRecorder] = None
         if self.record == "streaming":
             fleet_stats = MetricsRecorder(
                 record="streaming", window_s=self.window_s
             )
-        self._fresh_nodes(fleet_stats)
-        spans = obs.spans if obs is not None else None
+        self._fresh_nodes(fleet_stats, fast=_fast is not None)
         for node in self.nodes:
             node.obs_spans = spans
         self.router.reset()
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
         last_arrival = ordered[-1].arrival_s if ordered else 0.0
         kernel = DiscreteEventKernel()
-        kernel.preload(
-            Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
-            for i, r in enumerate(ordered)
-        )
+        if _fast is None:
+            kernel.preload(
+                Event(r.arrival_s, EventKind.ARRIVAL, i, payload=r)
+                for i, r in enumerate(ordered)
+            )
         if failures is not None:
             failures.schedule_on(kernel)
-        down: set = set()
         dropped: List[FailedRequest] = []
         n_dropped = 0
         last_service_end = 0.0
@@ -498,15 +524,96 @@ class Cluster:
         def on_recovers(now: float, events: List[Event]) -> None:
             down.difference_update(ev.entity for ev in events)
 
-        kernel.run(
-            {
-                EventKind.ARRIVAL: on_arrivals,
-                EventKind.FINISH: on_finishes,
-                EventKind.FAIL: on_fails,
-                EventKind.RECOVER: on_recovers,
-            },
-            obs=obs,
-        )
+        if _fast is not None:
+            _fast.count_run()
+            route = chooser.route
+
+            def dispatch_fast(node: ClusterNode, now: float) -> bool:
+                finish = node.try_dispatch(now)
+                chooser.invalidate_backlogs()
+                if finish is not None:
+                    kernel.schedule(
+                        finish, EventKind.FINISH, node.node_id,
+                        payload=node.epoch,
+                    )
+                    return True
+                return False
+
+            def on_epoch(now: float, lo: int, hi: int) -> bool:
+                if hi - lo == 1:
+                    r = ordered[lo]
+                    node = route(r, now)
+                    if node is None:
+                        dropped.append(
+                            FailedRequest(
+                                request=r, failed_at_s=now, reason="unrouted"
+                            )
+                        )
+                        return False
+                    node.queue.append(r)
+                    if not node.in_flight:
+                        return dispatch_fast(node, now)
+                    return False
+                touched: Dict[int, ClusterNode] = {}
+                for r in ordered[lo:hi]:
+                    node = route(r, now)
+                    if node is None:
+                        dropped.append(
+                            FailedRequest(
+                                request=r, failed_at_s=now, reason="unrouted"
+                            )
+                        )
+                        continue
+                    node.queue.append(r)
+                    touched[node.node_id] = node
+                scheduled = False
+                for nid in sorted(touched):
+                    if touched[nid].idle and dispatch_fast(touched[nid], now):
+                        scheduled = True
+                return scheduled
+
+            def on_finishes_fast(now: float, events: List[Event]) -> None:
+                nonlocal last_service_end
+                for ev in events:
+                    node = self.nodes[ev.entity]
+                    if ev.payload != node.epoch:
+                        continue  # batch was lost to a failure; stale event
+                    node.report.stats.record_batch(
+                        node._dispatch_s, now, node.in_flight
+                    )
+                    node.in_flight = []
+                    last_service_end = now
+                    dispatch_fast(node, now)
+
+            def on_fails_fast(now: float, events: List[Event]) -> None:
+                on_fails(now, events)
+                chooser.invalidate_all()
+
+            def on_recovers_fast(now: float, events: List[Event]) -> None:
+                on_recovers(now, events)
+                chooser.invalidate_all()
+
+            _fast.drain(
+                kernel,
+                _fast.arrival_times(ordered),
+                on_epoch,
+                {
+                    int(EventKind.FINISH): on_finishes_fast,
+                    int(EventKind.FAIL): on_fails_fast,
+                    int(EventKind.RECOVER): on_recovers_fast,
+                },
+                profiler=getattr(obs, "profile", None) if obs is not None else None,
+            )
+        else:
+            kernel.run(
+                {
+                    EventKind.ARRIVAL: on_arrivals,
+                    EventKind.FINISH: on_finishes,
+                    EventKind.FAIL: on_fails,
+                    EventKind.RECOVER: on_recovers,
+                },
+                obs=obs,
+            )
         sim_end = max(last_service_end, last_arrival)
         report = ClusterReport(
             policy=self.policy,

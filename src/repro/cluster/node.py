@@ -142,9 +142,15 @@ class ClusterNode:
         """
         while self.idle and self.queue:
             head_model = self.queue[0].model
-            candidates = [r for r in self.queue if r.model == head_model][
-                : self.max_batch
-            ]
+            # FIFO batch: the first max_batch head-model requests in
+            # queue order (early-exit scan; long mixed queues stay O(b)).
+            candidates = []
+            cap = self.max_batch
+            for r in self.queue:
+                if r.model == head_model:
+                    candidates.append(r)
+                    if len(candidates) == cap:
+                        break
             admitted, rejected, service = slo_admit(
                 candidates,
                 clock,
@@ -166,8 +172,21 @@ class ClusterNode:
                         node=self.node_id,
                         model=r.model,
                     )
-            taken = {id(r) for r in admitted} | {id(r) for r in rejected}
-            self.queue = [r for r in self.queue if id(r) not in taken]
+            # admitted + rejected partition the candidates, which are the
+            # first len(candidates) head-model requests in queue order —
+            # drop exactly that many matches instead of id-set filtering.
+            ncand = len(candidates)
+            if ncand == len(self.queue):
+                self.queue = []
+            else:
+                newq = []
+                dropped = 0
+                for r in self.queue:
+                    if dropped < ncand and r.model == head_model:
+                        dropped += 1
+                    else:
+                        newq.append(r)
+                self.queue = newq
             if admitted:
                 self.in_flight = admitted
                 self._dispatch_s = clock

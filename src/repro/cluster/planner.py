@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -51,6 +52,7 @@ from repro.serving.engine import (
     poisson_requests,
 )
 from repro.serving.nodespec import DEFAULT_CATALOG, NodeSpec
+from repro.sim.analytic import AnalyticCapacityModel, MGkEstimate
 
 __all__ = [
     "CapacityPlan",
@@ -69,9 +71,14 @@ class CapacityPlan:
     target_rps: float
     p99_slo_s: float
     nodes: int
-    report: ClusterReport
-    #: (node count, feasible?, p99 seconds) for every probe, search order.
+    #: The winning probe's simulation — ``None`` in analytic mode, which
+    #: never runs the DES.
+    report: Optional[ClusterReport] = None
+    #: (node count, feasible?, p99 seconds) for every probe, search
+    #: order.  In analytic mode the p99 is the closed-form estimate.
     probes: List[Tuple[int, bool, float]] = field(default_factory=list)
+    #: The winning probe's closed-form estimate (analytic mode only).
+    analytic: Optional[MGkEstimate] = None
 
 
 class CapacityPlanner:
@@ -92,6 +99,17 @@ class CapacityPlanner:
             SLOs of arrivals: a fleet that is slowly falling behind looks
             fine over a window shorter than the latency bound.
         seed: Stream seed (same seed, same probes, same plan).
+        mode: ``"sim"`` (default) decides feasibility by simulation;
+            ``"analytic"`` uses the closed-form M/G/k model of
+            :mod:`repro.sim.analytic` — instant probes, no DES run, and
+            a plan whose ``report`` is ``None`` but whose ``analytic``
+            field carries the winning estimate.
+        analytic_safety: Multiplier on the analytic p99 before the SLO
+            comparison (analytic mode only).  The approximation can sit
+            under the simulated tail at moderate utilization; the safety
+            factor keeps the analytic plan at least as large as the DES
+            plan on the serve-cluster anchor scenarios — deliberately
+            conservative, never optimistic.
     """
 
     def __init__(
@@ -104,6 +122,8 @@ class CapacityPlanner:
         n_requests: int = 400,
         window_slos: float = 5.0,
         seed: int = 0,
+        mode: str = "sim",
+        analytic_safety: float = 2.0,
     ) -> None:
         if not mix:
             raise ValueError("traffic mix must name at least one model")
@@ -121,6 +141,16 @@ class CapacityPlanner:
         self.n_requests = n_requests
         self.window_slos = window_slos
         self.seed = seed
+        if mode not in ("sim", "analytic"):
+            raise ValueError(f"mode must be 'sim' or 'analytic', not {mode!r}")
+        if analytic_safety < 1.0:
+            raise ValueError("analytic_safety below 1.0 would plan optimistically")
+        self.mode = mode
+        self.analytic_safety = analytic_safety
+
+    def analytic_model(self, policy: str) -> AnalyticCapacityModel:
+        """The closed-form M/G/k model for this mix under ``policy``."""
+        return AnalyticCapacityModel(self.engine, self.mix, policy)
 
     def stream(
         self,
@@ -223,12 +253,33 @@ class CapacityPlanner:
             raise ValueError("p99 SLO must be positive")
         probes: List[Tuple[int, bool, float]] = []
         reports: Dict[int, ClusterReport] = {}
+        estimates: Dict[int, MGkEstimate] = {}
 
-        def feasible(n: int) -> bool:
-            ok, report = self.sustains(n, policy, target_rps, p99_slo_s)
-            probes.append((n, ok, report.p99_s))
-            reports[n] = report
-            return ok
+        if self.mode == "analytic":
+            model = self.analytic_model(policy)
+
+            def feasible(n: int) -> bool:
+                # Saturated probes warn by design when a user asks for a
+                # single estimate; a search *expects* to straddle the
+                # saturation frontier, so the warning is noise here.
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", RuntimeWarning)
+                    est = model.estimate(n, target_rps)
+                ok = (
+                    not est.clamped
+                    and est.p99_s * self.analytic_safety <= p99_slo_s
+                )
+                probes.append((n, ok, est.p99_s))
+                estimates[n] = est
+                return ok
+
+        else:
+
+            def feasible(n: int) -> bool:
+                ok, report = self.sustains(n, policy, target_rps, p99_slo_s)
+                probes.append((n, ok, report.p99_s))
+                reports[n] = report
+                return ok
 
         lo, hi = 0, 1  # lo: largest known-infeasible count
         while not feasible(hi):
@@ -251,8 +302,9 @@ class CapacityPlanner:
             target_rps=target_rps,
             p99_slo_s=p99_slo_s,
             nodes=hi,
-            report=reports[hi],
+            report=reports.get(hi),
             probes=probes,
+            analytic=estimates.get(hi),
         )
 
     def throughput_curve(

@@ -23,6 +23,7 @@ from repro.experiments import (
     serve_autoscale,
     serve_chaos,
     serve_cluster,
+    serve_fast,
     serve_genai,
     serve_hetero,
     serve_observe,
@@ -53,6 +54,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "serve-hetero": serve_hetero.run,
     "serve-scale": serve_scale.run,
     "serve-chaos": serve_chaos.run,
+    "serve-fast": serve_fast.run,
     "serve-observe": serve_observe.run,
 }
 

@@ -1,0 +1,253 @@
+"""The fast event path earns its keep — and changes no answer.
+
+``repro.sim.fast`` rebuilds the serving hot loop as batched
+struct-of-arrays sweeps, and ``repro.sim.analytic`` replaces whole
+simulations with closed-form M/G/k arithmetic.  Both are only usable
+if they are *boring*: the fast path must reproduce the reference loop
+request for request, and the analytic planner must never hand back a
+smaller fleet than the simulation would.  This experiment measures the
+speedups and re-asserts both contracts in one artifact:
+
+* **differential** — the single-engine and hetero-elastic loops run the
+  same seeded diurnal stream through both paths; completions,
+  rejections, ``events_processed`` and ``sim_end_s`` must agree
+  exactly (the full permutation harness lives in
+  ``tests/test_fast_differential.py``; this section is the
+  experiment-shaped witness).
+* **throughput** — wall time and kernel events/s for both paths on the
+  same runs; the fast path must win on the loop-dominated hetero
+  scenario.
+* **analytic** — ``CapacityPlanner(mode="analytic")`` sizes a fleet in
+  milliseconds of arithmetic instead of seconds of simulation; the
+  check is the conservatism contract (never fewer nodes than the DES
+  answer) plus the probe-cost gap.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.autoscale import (
+    BaselineBurstPolicy,
+    DiurnalTrace,
+    HeteroElasticCluster,
+    NodePool,
+    mix_requests,
+)
+from repro.autoscale.policies import node_capacity_rps
+from repro.cluster.planner import CapacityPlanner
+from repro.experiments.common import ExperimentResult
+from repro.serving import GPU_NODE, STEPSTONE_NODE, OnlineServingEngine
+
+__all__ = ["run"]
+
+SEED = 42
+MIX = {"BERT": 0.9, "DLRM": 0.1}
+
+
+def _timed(fn):
+    t0 = perf_counter()
+    out = fn()
+    return out, perf_counter() - t0
+
+
+def _report_key(rep):
+    """The exact-equality fingerprint of a serving run."""
+    return (
+        rep.served,
+        [(c.request.req_id, c.dispatch_s, c.finish_s) for c in rep.completed],
+        [(r.request.req_id, r.rejected_at_s) for r in rep.rejected],
+        rep.events_processed,
+        rep.sim_end_s,
+    )
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Run the fast-path/analytic experiment.
+
+    Args:
+        fast: Shrink the streams for smoke runs.
+    """
+    res = ExperimentResult(
+        experiment_id="serve-fast",
+        title="Struct-of-arrays event path: same answers, one order of "
+        "magnitude less Python",
+        paper_reference="infrastructure (no paper figure): repro.sim.fast "
+        "+ repro.sim.analytic",
+    )
+    engine = OnlineServingEngine()
+
+    # -------------------------------------------------------------- #
+    # 1 + 2. Differential witness and throughput, engine loop
+    # -------------------------------------------------------------- #
+    duration = 30.0 if fast else 200.0
+    stream = mix_requests(
+        DiurnalTrace(trough_rps=100.0, peak_rps=160.0, period_s=60.0),
+        MIX,
+        duration,
+        seed=SEED,
+        slos={m: 1.0 for m in MIX},
+    )
+    engine.run(stream, "hybrid", fast=True)  # warm the latency cache
+    slow_rep, slow_s = _timed(lambda: engine.run(stream, "hybrid"))
+    fast_rep, fast_s = _timed(lambda: engine.run(stream, "hybrid", fast=True))
+    res.add(
+        section="throughput",
+        loop="engine",
+        path="reference",
+        wall_s=round(slow_s, 4),
+        events_per_s=round(slow_rep.events_processed / slow_s),
+    )
+    res.add(
+        section="throughput",
+        loop="engine",
+        path="fast",
+        wall_s=round(fast_s, 4),
+        events_per_s=round(fast_rep.events_processed / fast_s),
+    )
+    res.check(
+        "engine: fast path reproduces the reference run exactly",
+        _report_key(slow_rep) == _report_key(fast_rep),
+    )
+    res.note(
+        f"engine {len(stream)} requests: reference {slow_s:.3f}s, fast "
+        f"{fast_s:.3f}s ({fast_rep.events_processed / fast_s:,.0f} events/s)"
+    )
+
+    # -------------------------------------------------------------- #
+    # Hetero-elastic loop: the heaviest, loop-dominated scenario
+    # -------------------------------------------------------------- #
+    def hetero():
+        return HeteroElasticCluster(
+            pools={
+                "stepstone": NodePool(
+                    STEPSTONE_NODE, min_nodes=2, max_nodes=12, initial_nodes=8
+                ),
+                "gpu": NodePool(
+                    GPU_NODE, min_nodes=0, max_nodes=4, initial_nodes=0
+                ),
+            },
+            engine=engine,
+            policy="hybrid",
+            router="backend-affinity",
+            models=sorted(MIX),
+            control_interval_s=0.5,
+        )
+
+    policy = BaselineBurstPolicy(
+        baseline="stepstone",
+        burst="gpu",
+        baseline_nodes=8,
+        baseline_capacity_rps=node_capacity_rps(
+            engine, MIX, "hybrid", spec=STEPSTONE_NODE
+        ),
+        burst_capacity_rps=node_capacity_rps(
+            engine, MIX, "hybrid", spec=GPU_NODE
+        ),
+    )
+    hstream = mix_requests(
+        DiurnalTrace(trough_rps=1200.0, peak_rps=2800.0, period_s=25.0),
+        MIX,
+        10.0 if fast else 50.0,
+        seed=SEED,
+        slos={m: 1.0 for m in MIX},
+    )
+    hc = hetero()
+    hc.run(hstream, policy, fast=True)  # warm
+    hslow, hslow_s = _timed(lambda: hetero().run(hstream, policy))
+    hfast, hfast_s = _timed(lambda: hetero().run(hstream, policy, fast=True))
+    res.add(
+        section="throughput",
+        loop="hetero",
+        path="reference",
+        wall_s=round(hslow_s, 4),
+        events_per_s=round(hslow.events_processed / hslow_s),
+    )
+    res.add(
+        section="throughput",
+        loop="hetero",
+        path="fast",
+        wall_s=round(hfast_s, 4),
+        events_per_s=round(hfast.events_processed / hfast_s),
+    )
+    res.check(
+        "hetero: fast path reproduces the reference run exactly "
+        "(per-node completions, drops, pool timeline)",
+        (
+            {
+                nid: _report_key(r)
+                for nid, r in hslow.node_reports.items()
+            },
+            hslow.pool_timeline,
+            hslow.events_processed,
+            hslow.sim_end_s,
+        )
+        == (
+            {
+                nid: _report_key(r)
+                for nid, r in hfast.node_reports.items()
+            },
+            hfast.pool_timeline,
+            hfast.events_processed,
+            hfast.sim_end_s,
+        ),
+    )
+    res.check(
+        "hetero: the fast path is faster on the loop-dominated scenario",
+        hfast_s < hslow_s,
+    )
+    res.note(
+        f"hetero {len(hstream)} requests: reference {hslow_s:.3f}s, fast "
+        f"{hfast_s:.3f}s ({hslow_s / hfast_s:.1f}x)"
+    )
+
+    # -------------------------------------------------------------- #
+    # 3. Analytic capacity planning: arithmetic instead of simulation
+    # -------------------------------------------------------------- #
+    target_rps, slo_s = 600.0, 1.0
+    kwargs = dict(engine=engine, n_requests=200 if fast else 300, seed=SEED)
+    for pol in ("cpu", "hybrid"):
+        sim_plan, sim_s = _timed(
+            lambda: CapacityPlanner(MIX, **kwargs).min_nodes(
+                pol, target_rps, slo_s, max_nodes=32
+            )
+        )
+        an_plan, an_s = _timed(
+            lambda: CapacityPlanner(MIX, mode="analytic", **kwargs).min_nodes(
+                pol, target_rps, slo_s, max_nodes=32
+            )
+        )
+        res.add(
+            section="analytic",
+            policy=pol,
+            sim_nodes=sim_plan.nodes,
+            sim_plan_s=round(sim_s, 3),
+            analytic_nodes=an_plan.nodes,
+            analytic_plan_s=round(an_s, 4),
+            analytic_p99_s=round(an_plan.analytic.p99_s, 4),
+            rho=round(an_plan.analytic.rho, 3),
+        )
+        res.check(
+            f"{pol}: analytic plan is never smaller than the DES plan",
+            an_plan.nodes >= sim_plan.nodes,
+        )
+        res.check(
+            f"{pol}: analytic planning is cheaper than simulation",
+            an_s < sim_s,
+        )
+    res.note(
+        "analytic mode trades nodes for time: conservative fleet sizes "
+        "(never below the DES answer) from microsecond M/G/k probes"
+    )
+
+    res.chart = {
+        "kind": "grouped",
+        "rows": [
+            {"label": f"{r['loop']} {r['path']}", "events_per_s": r["events_per_s"]}
+            for r in res.rows
+            if r["section"] == "throughput"
+        ],
+        "category_key": "label",
+        "value_key": "events_per_s",
+    }
+    return res

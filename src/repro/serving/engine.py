@@ -617,6 +617,7 @@ class OnlineServingEngine:
         policy: str,
         record: str = "full",
         obs=None,
+        fast: bool = False,
     ) -> ServingReport:
         """Serve an arrival-ordered request stream under one policy.
 
@@ -635,11 +636,35 @@ class OnlineServingEngine:
         ``batch`` execution span per dispatch, carrying the exact floats
         this report accounts with (span sums tie out with ``==``).  The
         default runs the original untraced path.
+
+        ``fast=True`` opts into the :mod:`repro.sim.fast` vectorized
+        path — bit-identical reports, no per-event kernel churn.  It
+        engages only for full recording without span tracing (the exact
+        configurations it can replay); anything else falls back here.
         """
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
         spans = obs.spans if obs is not None else None
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+        if (
+            fast
+            and record == "full"
+            and spans is None
+            and ordered
+            and (obs is None or obs.profile is None)
+        ):
+            from repro.sim import fast as _fast
+
+            report = ServingReport(policy=policy, stats=_fast.FastRecorder())
+            _fast.run_engine_fast(self, ordered, policy, report)
+            if obs is not None and obs.telemetry is not None:
+                obs.telemetry.record_counts(
+                    "engine",
+                    served=report.served,
+                    rejected=report.rejected_count,
+                    failed=report.failed_count,
+                )
+            return report
         report = ServingReport(policy=policy, record=record)
         if not ordered:
             return report
@@ -663,9 +688,12 @@ class OnlineServingEngine:
             nonlocal busy
             while not busy and queue:
                 head_model = queue[0].model
-                candidates = [r for r in queue if r.model == head_model][
-                    : self.max_batch
-                ]
+                candidates = []
+                for r in queue:
+                    if r.model == head_model:
+                        candidates.append(r)
+                        if len(candidates) == self.max_batch:
+                            break
                 batch, rejected_now, service = slo_admit(
                     candidates,
                     now,
@@ -683,10 +711,23 @@ class OnlineServingEngine:
                             now - r.arrival_s,
                             model=r.model,
                         )
-                # Remove by object identity: req_ids are caller-chosen
-                # and may collide across merged streams.
-                removed = {id(r) for r in batch} | {id(r) for r in rejected_now}
-                queue[:] = [r for r in queue if id(r) not in removed]
+                # batch + rejected_now partition the candidates — the
+                # first len(candidates) head-model requests in queue
+                # order — so drop exactly that many matches (req_ids are
+                # caller-chosen and may collide across merged streams;
+                # counting sidesteps identity bookkeeping entirely).
+                ncand = len(candidates)
+                if ncand == len(queue):
+                    queue.clear()
+                else:
+                    dropped = 0
+                    newq = []
+                    for r in queue:
+                        if dropped < ncand and r.model == head_model:
+                            dropped += 1
+                        else:
+                            newq.append(r)
+                    queue[:] = newq
                 if batch:
                     busy = True
                     kernel.schedule(

@@ -1,0 +1,362 @@
+"""Closed-form M/G/k capacity estimates from the calibrated latency model.
+
+The DES answers "does this fleet hold the SLO?" by replaying a seeded
+arrival stream event for event.  This module answers the same question
+in microseconds with a fluid queueing approximation, so capacity
+planning probes cost arithmetic instead of simulation:
+
+* Each node is one M/G/k *server* whose per-request occupancy is
+  ``L(b*) / b*`` — the calibrated batch latency at the equilibrium
+  batch size ``b*``, amortized over the batch.  ``b*`` is the fixed
+  point of "arrivals during one service round fill the next batch"
+  (clamped to ``[1, max_batch]``), the same feedback the DES plays out
+  request by request.
+* Waiting time uses the Allen–Cunneen/Lee–Longton M/G/k approximation:
+  ``Wq = C(k, a) * (1 + CS^2)/2 * ES / (k (1 - rho))`` with ``C`` the
+  Erlang-C delay probability.  At ``k = 1`` this *is* the
+  Pollaczek–Khinchine M/G/1 mean wait, exactly.
+* The waiting tail is treated as conditionally exponential —
+  ``P(W > t) ~ C * exp(-k (1 - rho) t / ES)`` — giving
+  ``p99_wait = ES / (k (1 - rho)) * ln(C / 0.01)`` when ``C > 0.01``
+  and zero otherwise; the reported ``p99_s`` adds the 99th-percentile
+  *sojourn* service time (a request rides its whole batch, so that
+  component is ``L_m(b*_m)``, not the amortized occupancy).
+* Nonstationary traces are handled piecewise: carve the horizon into
+  windows, treat each window's mean rate as stationary, and take the
+  worst window as the planning answer — conservative by construction.
+
+Error bound (measured by ``tests/test_fast_differential.py`` against
+the DES on seeded constant-rate scenarios): the mean-wait and p99
+estimates track the simulation within roughly a factor of two at
+utilizations below ~0.85, and the :class:`~repro.cluster.planner.
+CapacityPlanner` in ``mode="analytic"`` applies a safety factor on top
+so its fleet sizes are never *smaller* than the DES answer on the
+anchor scenarios — instant, but one notch conservative.  Near
+saturation (``rho -> 1``) the formulas blow up; estimates clamp the
+utilization at ``rho_clamp`` and flag themselves (with a warning), and
+the planner treats clamped estimates as infeasible.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "AnalyticCapacityModel",
+    "MGkEstimate",
+    "erlang_c",
+    "mgk_wait",
+]
+
+
+def erlang_c(k: int, a: float) -> float:
+    """Erlang-C delay probability for ``k`` servers at offered load ``a``
+    (in Erlangs, ``a = lambda * ES``).
+
+    Computed through the numerically stable Erlang-B recurrence
+    ``B(0) = 1``, ``B(i) = a B(i-1) / (i + a B(i-1))`` and the standard
+    conversion ``C = k B / (k - a (1 - B))``.
+
+    Args:
+        k: Server count (>= 1).
+        a: Offered load in Erlangs.
+
+    Returns:
+        ``P(wait > 0)`` in ``[0, 1]``; 0.0 at zero load, 1.0 when
+        ``a >= k`` (the queue is certain in saturation).
+    """
+    if k < 1:
+        raise ValueError("erlang_c needs at least one server")
+    if a <= 0.0:
+        return 0.0
+    if a >= k:
+        return 1.0
+    b = 1.0
+    for i in range(1, k + 1):
+        b = a * b / (i + a * b)
+    return k * b / (k - a * (1.0 - b))
+
+
+def mgk_wait(lam: float, k: int, es: float, es2: float) -> float:
+    """Mean M/G/k queueing delay (seconds) via Allen–Cunneen.
+
+    ``Wq = C(k, a) * (1 + CS^2)/2 * ES / (k (1 - rho))`` — exactly the
+    Pollaczek–Khinchine M/G/1 formula ``lam * ES2 / (2 (1 - rho))`` at
+    ``k = 1``, since there ``C(1, a) = rho`` and
+    ``ES2 = ES^2 (1 + CS^2)``.
+
+    Args:
+        lam: Arrival rate, requests per second.
+        k: Server count.
+        es: Mean per-request service (occupancy) seconds.
+        es2: Second moment of the same distribution.
+
+    Returns:
+        Mean wait in seconds; ``inf`` at or beyond saturation.
+    """
+    if lam <= 0.0 or es <= 0.0:
+        return 0.0
+    a = lam * es
+    rho = a / k
+    if rho >= 1.0:
+        return math.inf
+    cs2 = max(0.0, es2 / (es * es) - 1.0)
+    return erlang_c(k, a) * (1.0 + cs2) / 2.0 * es / (k * (1.0 - rho))
+
+
+@dataclass(frozen=True)
+class MGkEstimate:
+    """One closed-form capacity probe: an M/G/k fleet at one rate."""
+
+    lam_rps: float
+    k: int
+    #: Mean per-request occupancy seconds (``L(b*)/b*`` mix-weighted).
+    es_s: float
+    #: Second moment of the occupancy distribution.
+    es2_s: float
+    #: Utilization ``lam * ES / k`` — *before* any clamp.
+    rho: float
+    #: Erlang-C delay probability at the (possibly clamped) load.
+    erlang_c: float
+    mean_wait_s: float
+    p99_wait_s: float
+    #: 99th-percentile sojourn service seconds (full batch latency).
+    service_p99_s: float
+    #: ``p99_wait_s + service_p99_s`` — the planner's SLO comparator.
+    p99_s: float
+    #: Model name -> equilibrium batch size the moments were taken at.
+    batches: Tuple[Tuple[str, int], ...]
+    #: True when ``rho`` hit the clamp: the formulas were evaluated at
+    #: the clamp and the estimate is a floor, not a prediction.
+    clamped: bool = False
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean sojourn estimate: wait plus mean occupancy service."""
+        return self.mean_wait_s + self.es_s
+
+
+class AnalyticCapacityModel:
+    """M/G/k fluid estimates for a homogeneous fleet serving a mix.
+
+    Per-backend service moments come straight from the engine's
+    calibrated :meth:`~repro.serving.OnlineServingEngine.batch_latency`
+    — the same numbers the DES consumes — so the two answers differ
+    only by queueing approximation, never by hardware model.
+
+    Args:
+        engine: The calibrated latency model.
+        mix: Model name -> traffic share (normalized internally).
+        policy: Dispatch policy the latencies are evaluated under.
+        spec: Node hardware; the engine's default when omitted.
+        max_batch: Batch cap; the engine's when omitted.
+        rho_clamp: Utilization ceiling for the blowup clamp.
+    """
+
+    def __init__(
+        self,
+        engine,
+        mix: Mapping[str, float],
+        policy: str,
+        spec=None,
+        max_batch: Optional[int] = None,
+        rho_clamp: float = 0.999,
+    ) -> None:
+        if not mix:
+            raise ValueError("traffic mix must name at least one model")
+        total = float(sum(mix.values()))
+        if total <= 0 or any(w < 0 for w in mix.values()):
+            raise ValueError("traffic shares must be non-negative, sum > 0")
+        if not 0.0 < rho_clamp < 1.0:
+            raise ValueError("rho_clamp must lie in (0, 1)")
+        self.engine = engine
+        self.mix: Dict[str, float] = {
+            m: w / total for m, w in sorted(mix.items()) if w > 0
+        }
+        self.policy = policy
+        self.spec = spec
+        self.max_batch = max_batch if max_batch is not None else engine.max_batch
+        self.rho_clamp = rho_clamp
+
+    def _latency(self, model: str, batch: int) -> float:
+        return self.engine.batch_latency(
+            model, self.policy, batch, spec=self.spec
+        )
+
+    def equilibrium_batch(self, model: str, lam_node_rps: float) -> int:
+        """Fixed point of "arrivals during one service fill the next
+        batch": ``b = clamp(ceil(lam * L(b)), 1, max_batch)``.
+
+        Iterates from ``b = 1``; the map is monotone in ``b`` (longer
+        batches take longer, gathering more arrivals) so it either
+        converges or saturates at ``max_batch`` within ``max_batch``
+        steps.  Zero or negative rates pin ``b* = 1``.
+        """
+        if lam_node_rps <= 0.0:
+            return 1
+        b = 1
+        for _ in range(self.max_batch + 1):
+            nxt = min(
+                self.max_batch,
+                max(1, math.ceil(lam_node_rps * self._latency(model, b))),
+            )
+            if nxt == b:
+                return b
+            b = nxt
+        return b
+
+    def service_moments(
+        self, k: int, lam_rps: float
+    ) -> Tuple[float, float, float, Tuple[Tuple[str, int], ...]]:
+        """Mix-weighted occupancy moments and the sojourn p99.
+
+        Args:
+            k: Node count the load is split across.
+            lam_rps: Total offered rate.
+
+        Returns:
+            ``(ES, ES2, service_p99, batches)`` where ES/ES2 are the
+            per-request *occupancy* moments (``L(b*)/b*``), service_p99
+            is the 99th percentile of the *sojourn* service time
+            (``L(b*)`` — a request rides its whole batch), and batches
+            records each model's equilibrium batch size.
+        """
+        if k < 1:
+            raise ValueError("need at least one node")
+        es = 0.0
+        es2 = 0.0
+        batches: List[Tuple[str, int]] = []
+        sojourns: List[Tuple[float, float]] = []  # (L(b*), share)
+        for model, share in self.mix.items():
+            lam_node = share * lam_rps / k
+            b = self.equilibrium_batch(model, lam_node)
+            lat = self._latency(model, b)
+            occ = lat / b
+            es += share * occ
+            es2 += share * occ * occ
+            batches.append((model, b))
+            sojourns.append((lat, share))
+        sojourns.sort()
+        acc = 0.0
+        s99 = sojourns[-1][0]
+        for lat, share in sojourns:
+            acc += share
+            if acc >= 0.99:
+                s99 = lat
+                break
+        return es, es2, s99, tuple(batches)
+
+    def estimate(self, k: int, lam_rps: float) -> MGkEstimate:
+        """The closed-form probe: ``k`` nodes at ``lam_rps`` offered.
+
+        Zero-rate loads short-circuit to an all-zero estimate; loads at
+        or beyond ``rho_clamp`` are evaluated *at* the clamp, flagged
+        ``clamped=True``, and announced with a ``RuntimeWarning`` — the
+        numbers are then a floor on the real delay, not a prediction.
+        """
+        if k < 1:
+            raise ValueError("need at least one node")
+        if lam_rps <= 0.0:
+            return MGkEstimate(
+                lam_rps=max(lam_rps, 0.0),
+                k=k,
+                es_s=0.0,
+                es2_s=0.0,
+                rho=0.0,
+                erlang_c=0.0,
+                mean_wait_s=0.0,
+                p99_wait_s=0.0,
+                service_p99_s=0.0,
+                p99_s=0.0,
+                batches=(),
+            )
+        es, es2, s99, batches = self.service_moments(k, lam_rps)
+        rho = lam_rps * es / k
+        clamped = rho >= self.rho_clamp
+        if clamped:
+            warnings.warn(
+                f"analytic estimate saturated: rho={rho:.3f} >= "
+                f"clamp {self.rho_clamp}; reporting delays at the clamp "
+                "(a floor, not a prediction)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            rho_eff = self.rho_clamp
+            lam_eff = rho_eff * k / es
+        else:
+            rho_eff = rho
+            lam_eff = lam_rps
+        c = erlang_c(k, lam_eff * es)
+        wq = mgk_wait(lam_eff, k, es, es2)
+        if c > 0.01:
+            p99_wait = es / (k * (1.0 - rho_eff)) * math.log(c / 0.01)
+        else:
+            p99_wait = 0.0
+        return MGkEstimate(
+            lam_rps=lam_rps,
+            k=k,
+            es_s=es,
+            es2_s=es2,
+            rho=rho,
+            erlang_c=c,
+            mean_wait_s=wq,
+            p99_wait_s=p99_wait,
+            service_p99_s=s99,
+            p99_s=p99_wait + s99,
+            batches=batches,
+            clamped=clamped,
+        )
+
+    def piecewise(
+        self,
+        trace,
+        duration_s: float,
+        k: int,
+        window_s: Optional[float] = None,
+    ) -> List[Tuple[float, float, MGkEstimate]]:
+        """Piecewise-stationary estimates over a ``RateTrace``.
+
+        The horizon ``[0, duration_s]`` is carved into windows; each
+        window's mean rate (via ``trace.mean_rate``) is treated as a
+        stationary M/G/k load.  Zero-rate windows contribute all-zero
+        estimates (no load, no wait).
+
+        Args:
+            trace: A :class:`repro.autoscale.traces.RateTrace`.
+            duration_s: Horizon length, seconds.
+            k: Node count.
+            window_s: Window length; defaults to ``duration_s / 16``.
+
+        Returns:
+            ``[(t0, t1, estimate), ...]`` covering the horizon.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if window_s is None:
+            window_s = duration_s / 16.0
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        out: List[Tuple[float, float, MGkEstimate]] = []
+        t = 0.0
+        while t < duration_s:
+            t1 = min(t + window_s, duration_s)
+            lam = trace.mean_rate(t, t1)
+            out.append((t, t1, self.estimate(k, lam)))
+            t = t1
+        return out
+
+    def worst_window(
+        self,
+        trace,
+        duration_s: float,
+        k: int,
+        window_s: Optional[float] = None,
+    ) -> MGkEstimate:
+        """The planning answer for a nonstationary trace: the estimate
+        of the worst (highest ``p99_s``, clamped windows first) window —
+        conservative by construction."""
+        windows = self.piecewise(trace, duration_s, k, window_s)
+        return max(windows, key=lambda w: (w[2].clamped, w[2].p99_s))[2]

@@ -422,7 +422,22 @@ class DiscreteEventKernel:
         ``events_processed`` attribute (all five serving reports) gets
         this kernel's ``processed`` count.
 
+        Finalizing is only legal once the kernel is fully drained —
+        the fast path drains the heap itself, and a bug that left
+        events pending would silently under-count; idempotent, so run
+        loops and their callers may both finalize.
+
         Args:
             report: The run's report object.
+
+        Raises:
+            RuntimeError: If events are still pending (non-empty heap,
+                preloaded stream, or unexhausted lazy stream).
         """
+        if self._heap or self._stream or self._lazy is not None:
+            raise RuntimeError(
+                "finalize() before the kernel drained: "
+                f"{len(self._heap)} heap + {len(self._stream)} stream "
+                "event(s) still pending"
+            )
         report.events_processed = self.processed

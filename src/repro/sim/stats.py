@@ -750,6 +750,20 @@ class MetricsRecorder:
             self._lat_memo = (self._completed.version, memo)
         return memo
 
+    def new_latencies(self, seen: int) -> List[float]:
+        """Latencies of completions recorded after the first ``seen``.
+
+        The elastic control loops slice each node's completion list once
+        per tick to build the window-p99 signal; routing the slice
+        through the recorder lets the fast path answer it without
+        materializing per-request records (full mode only).
+
+        Raises:
+            RecordingModeError: In streaming mode.
+        """
+        self._require_full("the completion-latency slice")
+        return [c.latency_s for c in self._completed[seen:]]
+
     # ------------------------------------------------------------------ #
     # Aggregate queries (both modes)
     # ------------------------------------------------------------------ #

@@ -1,0 +1,175 @@
+"""Edge cases of the closed-form M/G/k capacity model.
+
+The differential harness (``tests/test_fast_differential.py``) checks
+that the analytic estimates *track* the DES in the friendly regime;
+this file pins the edges: exact Pollaczek–Khinchine agreement at
+``k = 1``, the saturation clamp-and-warn contract as ``rho -> 1``,
+zero-load windows, and the planner-level guarantee that analytic fleet
+sizes are never smaller than the simulated answer on the serve-cluster
+anchor scenarios.
+"""
+
+import math
+
+import pytest
+
+from repro.autoscale import ConstantTrace
+from repro.cluster.planner import CapacityPlanner
+from repro.serving import OnlineServingEngine
+from repro.sim.analytic import AnalyticCapacityModel, erlang_c, mgk_wait
+
+MIX = {"BERT": 0.9, "DLRM": 0.1}
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return OnlineServingEngine()
+
+
+@pytest.fixture(scope="module")
+def model(engine):
+    return AnalyticCapacityModel(engine, MIX, "hybrid")
+
+
+class TestErlangC:
+    def test_zero_load(self):
+        assert erlang_c(4, 0.0) == 0.0
+        assert erlang_c(4, -1.0) == 0.0
+
+    def test_saturation_is_certain_wait(self):
+        assert erlang_c(4, 4.0) == 1.0
+        assert erlang_c(4, 9.0) == 1.0
+
+    def test_single_server_is_rho(self):
+        # C(1, a) = a is the textbook M/M/1 / M/G/1 delay probability.
+        for a in (0.1, 0.5, 0.9, 0.999):
+            assert math.isclose(erlang_c(1, a), a, rel_tol=1e-12)
+
+    def test_needs_a_server(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 0.5)
+
+    def test_monotone_in_load(self):
+        cs = [erlang_c(8, a) for a in (1.0, 3.0, 5.0, 7.0, 7.9)]
+        assert cs == sorted(cs)
+        assert all(0.0 < c < 1.0 for c in cs)
+
+
+class TestMGkWait:
+    def test_k1_is_pollaczek_khinchine_exactly(self):
+        """At one server the Allen–Cunneen form must *be* P-K:
+        ``Wq = lam ES2 / (2 (1 - rho))`` to float round-off."""
+        for lam, es, cv2 in [
+            (10.0, 0.02, 0.0),
+            (30.0, 0.02, 1.0),
+            (5.0, 0.1, 2.5),
+            (40.0, 0.015, 0.3),
+        ]:
+            es2 = es * es * (1.0 + cv2)
+            rho = lam * es
+            assert rho < 1.0
+            pk = lam * es2 / (2.0 * (1.0 - rho))
+            assert math.isclose(mgk_wait(lam, 1, es, es2), pk, rel_tol=1e-12)
+
+    def test_zero_load_waits_nothing(self):
+        assert mgk_wait(0.0, 4, 0.02, 0.0005) == 0.0
+        assert mgk_wait(-1.0, 4, 0.02, 0.0005) == 0.0
+
+    def test_saturation_is_infinite(self):
+        assert mgk_wait(100.0, 1, 0.02, 0.0005) == math.inf
+        assert mgk_wait(200.0, 4, 0.02, 0.0005) == math.inf
+
+    def test_deterministic_service_halves_mm1_wait(self):
+        """CS^2 = 0 gives exactly half the exponential-service wait —
+        the classic M/D/1 vs M/M/1 factor."""
+        lam, es = 30.0, 0.02
+        w_det = mgk_wait(lam, 1, es, es * es)
+        w_exp = mgk_wait(lam, 1, es, 2.0 * es * es)
+        assert math.isclose(w_det, 0.5 * w_exp, rel_tol=1e-12)
+
+
+class TestSaturationClamp:
+    def test_rho_to_one_warns_and_clamps(self, model):
+        with pytest.warns(RuntimeWarning):
+            est = model.estimate(1, 5000.0)
+        assert est.clamped
+        # The reported rho is the *pre-clamp* utilization, so the
+        # caller can see how far past saturation the ask was.
+        assert est.rho >= 1.0
+        # ... but the estimate itself is evaluated at the clamp, so it
+        # stays finite (the planner needs comparable numbers, not inf).
+        assert math.isfinite(est.mean_wait_s)
+        assert math.isfinite(est.p99_s)
+        assert est.p99_s > 0.0
+
+    def test_unclamped_estimate_does_not_warn(self, model, recwarn):
+        est = model.estimate(4, 50.0)
+        assert not est.clamped
+        assert est.rho < 1.0
+        assert not [w for w in recwarn.list if w.category is RuntimeWarning]
+
+
+class TestZeroLoad:
+    def test_zero_rate_estimate_is_all_zero(self, model):
+        est = model.estimate(3, 0.0)
+        assert est.rho == 0.0
+        assert est.mean_wait_s == 0.0
+        assert est.p99_wait_s == 0.0
+        assert est.p99_s == 0.0
+        assert est.mean_latency_s == 0.0
+        assert not est.clamped
+
+    def test_zero_rate_windows_carry_zero_load(self, model):
+        windows = model.piecewise(ConstantTrace(0.0), 8.0, k=2, window_s=1.0)
+        assert len(windows) == 8
+        for t0, t1, est in windows:
+            assert est.rho == 0.0
+            assert est.p99_s == 0.0
+            assert not est.clamped
+
+    def test_worst_window_of_idle_trace_is_zero(self, model):
+        worst = model.worst_window(ConstantTrace(0.0), 8.0, k=2)
+        assert worst.p99_s == 0.0 and not worst.clamped
+
+
+class TestEquilibriumBatch:
+    def test_light_load_serves_singletons(self, model):
+        est = model.estimate(4, 5.0)
+        assert dict(est.batches)["BERT"] == 1
+
+    def test_heavier_load_grows_the_batch(self, model):
+        light = dict(model.estimate(1, 5.0).batches)["BERT"]
+        heavy = dict(model.estimate(1, 60.0).batches)["BERT"]
+        assert heavy > light
+
+
+class TestPlannerAnalyticMode:
+    def test_mode_is_validated(self):
+        with pytest.raises(ValueError):
+            CapacityPlanner(MIX, mode="oracle")
+        with pytest.raises(ValueError):
+            CapacityPlanner(MIX, mode="analytic", analytic_safety=0.5)
+
+    @pytest.mark.parametrize("policy", ["cpu", "pim", "hybrid"])
+    def test_analytic_never_undersizes_vs_sim(self, engine, policy):
+        """The serve-cluster anchor: for each dispatch policy, the
+        instant analytic plan must ask for at least as many nodes as
+        the simulated plan — conservative, never optimistic."""
+        kwargs = dict(engine=engine, n_requests=300, seed=42)
+        sim = CapacityPlanner(MIX, **kwargs).min_nodes(
+            policy, 600.0, 1.0, max_nodes=32
+        )
+        analytic = CapacityPlanner(MIX, mode="analytic", **kwargs).min_nodes(
+            policy, 600.0, 1.0, max_nodes=32
+        )
+        assert analytic.nodes >= sim.nodes, policy
+        # Mode-specific evidence rides on the plan.
+        assert sim.report is not None and sim.analytic is None
+        assert analytic.analytic is not None and analytic.report is None
+        assert not analytic.analytic.clamped
+        assert analytic.analytic.p99_s * 2.0 <= 1.0
+
+    def test_analytic_infeasible_raises_like_sim(self, engine):
+        planner = CapacityPlanner(MIX, engine=engine, mode="analytic")
+        with pytest.raises(ValueError):
+            planner.min_nodes("hybrid", 50_000.0, 0.05, max_nodes=4)

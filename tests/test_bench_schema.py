@@ -64,6 +64,7 @@ def test_migrate_entry_renames_every_legacy_key():
         "requests_per_s": 20,
         "tokens_per_s": 30,
         "served": 7,
+        "fast_path": False,  # stamped onto pre-PR-9 events/s entries
     }
 
 
@@ -71,6 +72,33 @@ def test_migrate_entry_prefers_normalized_key():
     """When both spellings exist the normalized one wins."""
     out = schema.migrate_entry({"mean_s": 1.0, "wall_s": 2.0})
     assert out == {"wall_s": 2.0}
+
+
+def test_migrate_entry_stamps_pre_fast_path_entries():
+    """Entries written before PR 9 get ``fast_path: False`` — their
+    events/s figures are reference-loop numbers by construction."""
+    out = schema.migrate_entry({"wall_s": 1.0, "events_per_sec": 10})
+    assert out == {"wall_s": 1.0, "events_per_s": 10, "fast_path": False}
+    # An explicit fast_path survives the migration untouched.
+    out = schema.migrate_entry(
+        {"wall_s": 1.0, "events_per_s": 10, "fast_path": True}
+    )
+    assert out["fast_path"] is True
+    # No events/s, no stamp: fast_path only qualifies event throughput.
+    assert "fast_path" not in schema.migrate_entry({"wall_s": 1.0})
+
+
+def test_validate_requires_fast_path_with_events_per_s():
+    """An events/s figure is uninterpretable without the loop bit."""
+    entry = {"wall_s": 0.1, "events_per_s": 5.0}
+    payload = {"bench": "x", "machine": "m", "entries": {"e": entry}}
+    with pytest.raises(ValueError, match="fast_path"):
+        schema.validate_bench_payload(payload)
+    entry["fast_path"] = 1  # truthy but not boolean: still rejected
+    with pytest.raises(ValueError, match="fast_path"):
+        schema.validate_bench_payload(payload)
+    entry["fast_path"] = True
+    assert schema.validate_bench_payload(payload) == 1
 
 
 def test_validate_rejects_legacy_and_malformed_payloads():

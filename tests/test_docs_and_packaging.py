@@ -118,6 +118,21 @@ class TestDocs:
         assert "--trace-out" in snippet
         assert "serve-observe" in EXPERIMENTS
 
+    def test_readme_instant_capacity_snippet_runs(self):
+        """The "instant capacity estimate" quickstart is *executed*
+        verbatim — the README's analytic-planner code must keep
+        running (and keep asserting its own conservatism claim)."""
+        readme = (ROOT / "README.md").read_text()
+        m = re.search(
+            r"### Instant capacity estimate.*?```python\n(.*?)```",
+            readme,
+            re.S,
+        )
+        assert m, "README is missing the 'Instant capacity estimate' quickstart"
+        snippet = m.group(1)
+        assert 'mode="analytic"' in snippet
+        exec(compile(snippet, "README.md::instant-capacity", "exec"), {})
+
     def test_cluster_autoscale_public_docstrings(self):
         """Every public ``__all__`` member of the fleet packages — and
         every public method/property it defines — documents itself (the

@@ -33,6 +33,7 @@ class TestRegistry:
             "serve-chaos",
             "serve-scale",
             "serve-observe",
+            "serve-fast",
         }
 
     def test_unknown_id_raises(self):

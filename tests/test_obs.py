@@ -445,6 +445,28 @@ class TestObservedRuns:
         for scope in ("engine", "cluster", "elastic", "hetero", "genai"):
             assert obs.telemetry.counter("served", scope=scope) > 0, scope
 
+        # The shared helper itself: finalizing twice is a no-op (run
+        # loops and their callers may both finalize), and finalizing a
+        # kernel that still has a pending event is a hard error — the
+        # fast path drains the heap itself, so silent under-counting
+        # here would be invisible downstream.
+        kernel = DiscreteEventKernel()
+        kernel.schedule(1.0, EventKind.CONTROL, 0)
+        kernel.run({})
+        rep = reports["engine"]
+        first = rep.events_processed
+        kernel.finalize(rep)
+        assert rep.events_processed == kernel.processed == 1
+        kernel.finalize(rep)  # idempotent: same drained kernel, same count
+        assert rep.events_processed == 1
+        rep.events_processed = first
+
+        pending = DiscreteEventKernel()
+        pending.schedule(2.0, EventKind.FINISH, 0)
+        with pytest.raises(RuntimeError, match="still pending"):
+            pending.finalize(rep)
+        assert rep.events_processed == first  # a failed finalize wrote nothing
+
     def test_run_observer_factories(self):
         t = RunObserver.tracing(cap=8)
         assert t.spans.cap == 8 and t.profile is None and t.telemetry is None

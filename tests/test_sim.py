@@ -251,3 +251,216 @@ class TestMetricsReexports:
 
         assert "nearest_rank" in engine.__all__
         assert "window_latencies" in engine.__all__
+
+
+class TestFastDrainTotalOrder:
+    """PR 5's tie-break table, extended to the batched fast path.
+
+    ``repro.sim.fast.drain`` replays arrivals from a sorted array
+    instead of the heap, so the one ordering risk it adds is at the
+    *seam*: equal-time heap events must land around an arrival epoch
+    exactly where the documented table puts ARRIVAL.  These tests run
+    the same permutation discipline as :class:`TestTotalOrder` with
+    arrivals moved into the struct-of-arrays column, and a differential
+    check against the reference kernel on seeded random schedules.
+    """
+
+    #: The tie-break table with the ARRIVAL rows re-expressed as one
+    #: batched epoch (the fast path delivers an epoch, not per-entity
+    #: events, so the arrival entities collapse into a single marker).
+    HEAP_ROWS = [
+        (kind, entity)
+        for kind, entity in ORDER_TABLE
+        if kind != EventKind.ARRIVAL
+    ]
+
+    @staticmethod
+    def _fast_drain(heap_rows, arrival_ts, epoch_finish_at=None):
+        """Drain heap_rows + an arrival column, returning the unified
+        delivery order.  ``epoch_finish_at`` optionally maps an epoch
+        time to a FINISH (time, entity) scheduled *from inside* the
+        epoch — the re-peek hazard."""
+        import numpy as np
+
+        from repro.sim import fast as fastmod
+
+        kernel = DiscreteEventKernel()
+        for kind, entity in heap_rows:
+            kernel.schedule(1.0, kind, entity)
+        seen = []
+
+        def on_epoch(t, lo, hi):
+            seen.append(("epoch", t, lo, hi))
+            if epoch_finish_at and t in epoch_finish_at:
+                ft, fe = epoch_finish_at[t]
+                kernel.schedule(ft, EventKind.FINISH, fe)
+                return True
+            return False
+
+        handlers = {
+            int(kind): (
+                lambda now, evs: seen.extend(
+                    ("heap", e.time, int(e.kind), e.entity) for e in evs
+                )
+            )
+            for kind in EventKind
+        }
+        fastmod.drain(
+            kernel,
+            np.asarray(arrival_ts, dtype=np.float64),
+            on_epoch,
+            handlers,
+        )
+        return kernel, seen
+
+    @pytest.mark.parametrize("perm", _insertion_orders()[:12])
+    def test_epoch_lands_at_the_arrival_slot(self, perm):
+        """Any heap insertion order: RECOVER pops before the arrival
+        epoch, everything above ARRIVAL pops after — same instant."""
+        rows = [
+            self.HEAP_ROWS[i % len(self.HEAP_ROWS)]
+            for i in perm[: len(self.HEAP_ROWS)]
+        ]
+        # Dedup while keeping the permuted insertion order.
+        rows = list(dict.fromkeys(rows))
+        _, seen = self._fast_drain(rows, [1.0, 1.0, 1.0])
+        kinds = [
+            int(EventKind.ARRIVAL) if s[0] == "epoch" else s[2] for s in seen
+        ]
+        assert kinds == sorted(kinds)
+        # The epoch is one batched delivery covering all three arrivals.
+        epochs = [s for s in seen if s[0] == "epoch"]
+        assert epochs == [("epoch", 1.0, 0, 3)]
+
+    def test_equal_time_arrivals_form_one_epoch_per_instant(self):
+        _, seen = self._fast_drain([], [0.5, 0.5, 1.25, 2.0, 2.0, 2.0])
+        assert seen == [
+            ("epoch", 0.5, 0, 2),
+            ("epoch", 1.25, 2, 3),
+            ("epoch", 2.0, 3, 6),
+        ]
+
+    def test_epoch_scheduled_finish_preempts_next_epoch(self):
+        """The re-peek hazard: an epoch at t=1 schedules a FINISH at
+        t=1.5, which must pop before the t=2 epoch."""
+        _, seen = self._fast_drain(
+            [], [1.0, 2.0], epoch_finish_at={1.0: (1.5, 7)}
+        )
+        assert seen == [
+            ("epoch", 1.0, 0, 1),
+            ("heap", 1.5, int(EventKind.FINISH), 7),
+            ("epoch", 2.0, 1, 2),
+        ]
+
+    def test_same_instant_finish_from_epoch_still_pops_after(self):
+        """FINISH scheduled *at the epoch's own instant* pops after the
+        epoch (FINISH > ARRIVAL) but before the next epoch."""
+        _, seen = self._fast_drain(
+            [], [1.0, 1.0, 2.0], epoch_finish_at={1.0: (1.0, 3)}
+        )
+        assert seen == [
+            ("epoch", 1.0, 0, 2),
+            ("heap", 1.0, int(EventKind.FINISH), 3),
+            ("epoch", 2.0, 2, 3),
+        ]
+
+    def test_heap_arrival_is_rejected(self):
+        """The fast drain owns arrivals; one on the heap is a bug."""
+        import numpy as np
+
+        from repro.sim import fast as fastmod
+
+        kernel = DiscreteEventKernel()
+        kernel.schedule(1.0, EventKind.ARRIVAL, 0)
+        with pytest.raises(ValueError):
+            fastmod.drain(
+                kernel,
+                np.asarray([1.0]),
+                lambda t, lo, hi: False,
+                {},
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_schedules_match_reference_kernel(self, seed):
+        """Differential: a seeded random mix of arrivals (duplicates
+        included) and heap events drains in exactly the reference
+        kernel's order, with the same processed-event count."""
+        import numpy as np
+
+        from repro.sim import fast as fastmod
+
+        rng = random.Random(seed)
+        times = sorted(
+            round(rng.uniform(0.0, 4.0), 1) for _ in range(rng.randint(3, 12))
+        )
+        heap_rows = [
+            (
+                round(rng.uniform(0.0, 4.0), 1),
+                rng.choice(
+                    [
+                        EventKind.RECOVER,
+                        EventKind.CONTROL,
+                        EventKind.FAIL,
+                        EventKind.FINISH,
+                    ]
+                ),
+                rng.randint(0, 3),
+            )
+            for _ in range(rng.randint(0, 8))
+        ]
+
+        # Reference: arrivals preloaded as per-entity events; the
+        # kernel batches each equal-time, equal-kind span into one
+        # handler call, which is exactly the fast path's epoch.
+        ref_kernel = DiscreteEventKernel()
+        ref_kernel.preload(
+            Event(t, EventKind.ARRIVAL, i) for i, t in enumerate(times)
+        )
+        for t, kind, entity in heap_rows:
+            ref_kernel.schedule(t, kind, entity)
+        ref = []
+        ref_kernel.run(
+            {
+                kind: (
+                    lambda now, evs: ref.append(
+                        (
+                            now,
+                            int(evs[0].kind),
+                            tuple(e.entity for e in evs),
+                        )
+                    )
+                )
+                for kind in EventKind
+            }
+        )
+
+        fast_kernel = DiscreteEventKernel()
+        for t, kind, entity in heap_rows:
+            fast_kernel.schedule(t, kind, entity)
+        got = []
+
+        def on_epoch(t, lo, hi):
+            got.append((t, int(EventKind.ARRIVAL), tuple(range(lo, hi))))
+            return False
+
+        handlers = {
+            int(kind): (
+                lambda now, evs: got.append(
+                    (now, int(evs[0].kind), tuple(e.entity for e in evs))
+                )
+            )
+            for kind in EventKind
+        }
+        fastmod.drain(
+            fast_kernel, np.asarray(times, dtype=np.float64), on_epoch, handlers
+        )
+
+        assert got == ref
+        assert fast_kernel.processed == ref_kernel.processed
+
+        class _Rep:
+            events_processed = 0
+
+        rep = _Rep()
+        fast_kernel.finalize(rep)
+        assert rep.events_processed == ref_kernel.processed
