@@ -330,17 +330,26 @@ class ElasticCluster:
         self._obs_spans = obs.spans if obs is not None else None
         _fast = None
         chooser = None
-        if (
-            fast
-            and not presorted
-            and self.record == "full"
-            and self._obs_spans is None
-        ):
-            from repro.sim import fast as _fast_mod
+        if fast:
+            if presorted:
+                fb_reason = "presorted-stream"
+            elif self.record != "full":
+                fb_reason = "streaming-record"
+            elif self._obs_spans is not None:
+                fb_reason = "spans"
+            else:
+                from repro.sim import fast as _fast_mod
 
-            chooser = _fast_mod.make_chooser(self.router, self.replicas_for)
-            if chooser is not None:
-                _fast = _fast_mod
+                chooser = _fast_mod.make_chooser(self.router, self.replicas_for)
+                if chooser is not None:
+                    _fast = _fast_mod
+                    fb_reason = None
+                else:
+                    fb_reason = "custom-router"
+            if _fast is None:
+                from repro.obs.telemetry import record_fast_fallback
+
+                record_fast_fallback("elastic", fb_reason, obs)
         self._fast_run = _fast is not None
         self._fresh()
         autoscaler.reset()

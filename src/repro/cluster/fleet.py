@@ -432,17 +432,29 @@ class Cluster:
         down: set = set()
         _fast = None
         chooser = None
-        if fast and self.record == "full" and spans is None:
-            from repro.sim import fast as _fast_mod
+        if fast:
+            if self.record != "full":
+                fb_reason = "streaming-record"
+            elif spans is not None:
+                fb_reason = "spans"
+            else:
+                from repro.sim import fast as _fast_mod
 
-            chooser = _fast_mod.make_chooser(
-                self.router,
-                lambda m: [
-                    n for n in self.replicas_for(m) if n.node_id not in down
-                ],
-            )
-            if chooser is not None:
-                _fast = _fast_mod
+                chooser = _fast_mod.make_chooser(
+                    self.router,
+                    lambda m: [
+                        n for n in self.replicas_for(m) if n.node_id not in down
+                    ],
+                )
+                if chooser is not None:
+                    _fast = _fast_mod
+                    fb_reason = None
+                else:
+                    fb_reason = "custom-router"
+            if _fast is None:
+                from repro.obs.telemetry import record_fast_fallback
+
+                record_fast_fallback("cluster", fb_reason, obs)
         fleet_stats: Optional[MetricsRecorder] = None
         if self.record == "streaming":
             fleet_stats = MetricsRecorder(

@@ -154,6 +154,10 @@ class GenerativeEngine:
             self._host_cfg = self.engine.server.cpu.config
         #: Per-context-length prefill attention seconds (pure, memoized).
         self._prefill_attn: dict = {}
+        #: Per-(charged, actives, total_ctx) decode-boundary seconds.
+        #: One memo shared by the reference loop and the macro-stepped
+        #: fast path, so every boundary is priced by the same float.
+        self._decode_cost: dict = {}
 
     # ------------------------------------------------------------------ #
     # Phase pricing (existing backend latency models underneath)
@@ -211,22 +215,42 @@ class GenerativeEngine:
             active: Sequences actually emitting (attention + sampling
                 are charged for these only).
         """
-        cfg = self.config
-        t = self.gemm_seconds(charged_width)
         total_ctx = sum(s.request.prompt_tokens + s.emitted + 1 for s in active)
-        t += sum(
-            op.seconds(self._host_cfg)
-            for op in decode_attention_cpu_ops(
-                "decode",
-                cfg.blocks,
-                cfg.heads,
-                cfg.head_dim,
-                cfg.d_model,
-                len(active),
-                total_ctx,
+        return self.decode_step_seconds(charged_width, len(active), total_ctx)
+
+    def decode_step_seconds(
+        self, charged_width: int, n_active: int, total_ctx: int
+    ) -> float:
+        """One decode boundary priced by its integer signature.
+
+        The cost of a boundary is a pure function of ``(charged GEMM
+        width, active count, total context tokens)`` — so it is memoized
+        on exactly that key.  :meth:`decode_seconds` reduces a batch to
+        this signature, and the fast path walks a segment's boundaries
+        by advancing ``total_ctx`` arithmetically; both read the same
+        cached float for the same signature, which is what makes the
+        macro-stepped run bit-identical to the event-at-a-time run.
+        """
+        key = (charged_width, n_active, total_ctx)
+        hit = self._decode_cost.get(key)
+        if hit is None:
+            cfg = self.config
+            t = self.gemm_seconds(charged_width)
+            t += sum(
+                op.seconds(self._host_cfg)
+                for op in decode_attention_cpu_ops(
+                    "decode",
+                    cfg.blocks,
+                    cfg.heads,
+                    cfg.head_dim,
+                    cfg.d_model,
+                    n_active,
+                    total_ctx,
+                )
             )
-        )
-        return t + self._sampling_seconds(len(active))
+            hit = t + self._sampling_seconds(n_active)
+            self._decode_cost[key] = hit
+        return hit
 
     # ------------------------------------------------------------------ #
     # The run loop
@@ -237,6 +261,7 @@ class GenerativeEngine:
         requests: Iterable[GenRequest],
         record: str = "full",
         obs=None,
+        fast: bool = False,
     ) -> GenReport:
         """Serve an arrival stream; return the TTFT/ITL/goodput report.
 
@@ -251,6 +276,13 @@ class GenerativeEngine:
                 self-profiling when a profiler is attached.  Default
                 off; a traced run's report is identical to an untraced
                 one.
+            fast: Opt into the :mod:`repro.genai.fast` macro-stepped
+                decode path — bit-identical reports, one kernel event
+                per constant-composition segment instead of one per
+                token boundary.  Falls back here (with a labeled
+                ``fast_fallback`` telemetry count) when spans or a
+                profiler need per-event hooks; both record modes
+                engage.
 
         Returns:
             The finished report, including KV high-water and peak queue
@@ -264,6 +296,22 @@ class GenerativeEngine:
         if not ordered:
             return report
         spans = obs.spans if obs is not None else None
+        fastmod = None
+        if fast:
+            if spans is not None:
+                reason = "spans"
+            elif obs is not None and obs.profile is not None:
+                reason = "profiler"
+            else:
+                reason = None
+            if reason is not None:
+                from repro.obs.telemetry import record_fast_fallback
+
+                record_fast_fallback("genai", reason, obs)
+            else:
+                from repro.genai import fast as fastmod
+
+                fastmod.count_run()
         model = self.config.step_key
         kernel = DiscreteEventKernel()
         kernel.preload(
@@ -356,16 +404,34 @@ class GenerativeEngine:
                     waiting.appendleft(victim)
                     if len(waiting) > report.peak_waiting:
                         report.peak_waiting = len(waiting)
-                kv.reserve(len(running))
-                for s in running:
-                    s.reserved += 1
                 charged = width if self.scheduler.fixed_width else len(running)
                 busy = True
-                kernel.schedule(
-                    now + self.decode_seconds(max(1, charged), running),
-                    EventKind.DECODE_STEP,
-                    payload=(list(running), now, max(1, charged)),
-                )
+                if fastmod is not None:
+                    # Macro step: plan every boundary until the batch
+                    # composition can change, reserve the whole run's KV
+                    # growth arithmetically, and schedule one event at
+                    # the segment's last boundary.  The skipped
+                    # boundaries are credited so events_processed
+                    # matches the event-at-a-time run.
+                    seg = fastmod.plan_segment(
+                        self, kernel, running, waiting, kv, now, max(1, charged)
+                    )
+                    kv.reserve_run(len(running), seg.steps)
+                    for s in running:
+                        s.reserved += seg.steps
+                    kernel.credit_events(seg.steps - 1)
+                    kernel.schedule(
+                        seg.times[-1], EventKind.DECODE_STEP, payload=seg
+                    )
+                else:
+                    kv.reserve(len(running))
+                    for s in running:
+                        s.reserved += 1
+                    kernel.schedule(
+                        now + self.decode_seconds(max(1, charged), running),
+                        EventKind.DECODE_STEP,
+                        payload=(list(running), now, max(1, charged)),
+                    )
 
         def on_arrivals(now: float, events: List[Event]) -> None:
             for ev in events:
@@ -438,7 +504,14 @@ class GenerativeEngine:
 
         def on_decode(now: float, events: List[Event]) -> None:
             nonlocal busy
-            active, started, charged = events[0].payload
+            payload = events[0].payload
+            if fastmod is not None:
+                if fastmod.apply_segment(payload, report, complete):
+                    running[:] = [s for s in running if not s.done]
+                busy = False
+                maybe_start(now)
+                return
+            active, started, charged = payload
             report.busy_decode_s += now - started
             if spans is not None:
                 spans.emit(
@@ -451,10 +524,26 @@ class GenerativeEngine:
                     kv_tokens=kv.used_tokens,
                     tokens=len(active),
                 )
+            # Collapse this boundary's equal gaps into (gap, count) runs
+            # — the same sketch ingestion the macro-stepped path
+            # performs per boundary, so both paths' ITL statistics see
+            # identical updates in identical order.
+            gap = None
+            n_run = 0
+            for s in active:
+                g = now - s.last_token_s
+                if g == gap:
+                    n_run += 1
+                else:
+                    if n_run:
+                        report.record_itl_run(gap, n_run)
+                    gap = g
+                    n_run = 1
+            if n_run:
+                report.record_itl_run(gap, n_run)
             finished = False
             for s in active:
                 s.emitted += 1
-                report.record_itl(now - s.last_token_s)
                 s.last_token_s = now
                 if s.emitted >= s.request.max_new_tokens:
                     complete(s, now)

@@ -100,6 +100,32 @@ class KVCacheBudget:
         if self.used_tokens > self.high_water_tokens:
             self.high_water_tokens = self.used_tokens
 
+    def reserve_run(self, tokens: int, steps: int) -> None:
+        """Claim ``steps`` successive reservations of ``tokens`` each.
+
+        The macro-step twin of calling :meth:`reserve` ``steps`` times:
+        usage only grows across the run (nothing releases between the
+        boundaries of one decode segment), so the high-water mark lands
+        on exactly the value the per-step path records — the final
+        usage.
+
+        Raises:
+            RuntimeError: On overflow — the caller must have solved for
+                the largest ``steps`` that fits, so this stays an
+                accounting bug, never a workload condition.
+        """
+        if tokens < 0 or steps < 0:
+            raise RuntimeError("cannot reserve a negative token count")
+        total = tokens * steps
+        if not self.fits(total):
+            raise RuntimeError(
+                f"KV budget overflow: {self.used_tokens} + {total} > "
+                f"{self.capacity_tokens}"
+            )
+        self.used_tokens += total
+        if self.used_tokens > self.high_water_tokens:
+            self.high_water_tokens = self.used_tokens
+
     def release(self, tokens: int) -> None:
         """Return ``tokens`` of cache (a finished or preempted sequence).
 

@@ -138,6 +138,18 @@ class GenReport:
         first contributes exactly one)."""
         self._itl.add(gap_s)
 
+    def record_itl_run(self, gap_s: float, n: int) -> None:
+        """Record ``n`` consecutive inter-token gaps of one width.
+
+        A decode boundary emits the same gap for every sequence that was
+        active at the previous boundary, and a macro-stepped segment
+        emits one gap per boundary for its whole batch — both the
+        reference and fast engine paths feed the sketch the same
+        ``(gap, count)`` runs, so their means and percentiles agree
+        exactly (run-batched P² updates included).
+        """
+        self._itl.add_run(gap_s, n)
+
     def record_rejection(self, r: GenRejection) -> None:
         """Record one arrival-time rejection."""
         self._rejected += 1

@@ -85,6 +85,15 @@ class StaticBatcher:
             return []
         return _fifo_fit(waiting, max_batch, kv)
 
+    def segment_join_blocked(
+        self, waiting: Deque, running: List, max_batch: int
+    ) -> bool:
+        """No arrival can join while ``running`` decodes — a static
+        batch admits only after a full drain, so a decode segment never
+        needs to stop at an arrival instant.  Always ``True`` (the fast
+        path only plans segments with a non-empty running batch)."""
+        return True
+
 
 class ContinuousBatcher:
     """Sequences join and leave the batch at token boundaries.
@@ -113,3 +122,21 @@ class ContinuousBatcher:
             The FIFO prefix that fits the free slots and the KV budget.
         """
         return _fifo_fit(waiting, max_batch - len(running), kv)
+
+    def segment_join_blocked(
+        self, waiting: Deque, running: List, max_batch: int
+    ) -> bool:
+        """Whether joins stay impossible while the current batch holds.
+
+        The macro-step invariant the fast path relies on: during one
+        decode segment the running set is fixed and KV usage only grows,
+        so an admission blocked now stays blocked at every boundary of
+        the segment.  That is the case when the slots are full, or when
+        a FIFO head is already waiting — it was passed over because it
+        did not fit the (only-tightening) budget, and strict FIFO means
+        nothing behind it may skip ahead.  Only an *empty* queue with
+        free slots can change composition mid-segment (a new arrival
+        joins at the next boundary), so only then must a segment stop at
+        the next event instant.
+        """
+        return len(running) >= max_batch or bool(waiting)

@@ -22,7 +22,7 @@ from typing import Any, Dict, Tuple
 
 from repro.sim.stats import StreamStats
 
-__all__ = ["Telemetry", "ScopedTelemetry", "BUS"]
+__all__ = ["Telemetry", "ScopedTelemetry", "BUS", "record_fast_fallback"]
 
 #: Canonical metric-key type: (name, sorted (label, value) pairs).
 MetricKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
@@ -209,3 +209,27 @@ class ScopedTelemetry:
 #: The process-wide default bus — disabled until someone calls
 #: ``BUS.enable()``, so importing this module costs nothing.
 BUS = Telemetry(enabled=False)
+
+
+def record_fast_fallback(loop: str, reason: str, obs: Any = None) -> None:
+    """Count one declined fast-path engagement, labeled by cause.
+
+    Every serving loop's ``fast=True`` gate calls this with the *first*
+    condition that disqualified the vectorized path (``"spans"``,
+    ``"profiler"``, ``"streaming-record"``, ``"custom-router"``,
+    ``"presorted-stream"``, ``"empty-stream"``) — so a sweep that meant
+    to run fast but silently fell back is visible as a labeled counter
+    instead of a mystery slowdown.  The increment lands on the
+    process-wide :data:`BUS` and, when the run carries its own
+    telemetry, on that bus too.
+
+    Args:
+        loop: The run loop that fell back (``"engine"``, ``"cluster"``,
+            ``"elastic"``, ``"hetero"``, ``"genai"``).
+        reason: The first failing gate condition.
+        obs: The run's optional :class:`~repro.obs.RunObserver`.
+    """
+    BUS.inc("fast_fallback", loop=loop, reason=reason)
+    bus = getattr(obs, "telemetry", None) if obs is not None else None
+    if bus is not None and bus is not BUS:
+        bus.inc("fast_fallback", loop=loop, reason=reason)

@@ -646,25 +646,33 @@ class OnlineServingEngine:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
         spans = obs.spans if obs is not None else None
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
-        if (
-            fast
-            and record == "full"
-            and spans is None
-            and ordered
-            and (obs is None or obs.profile is None)
-        ):
-            from repro.sim import fast as _fast
+        if fast:
+            if record != "full":
+                reason = "streaming-record"
+            elif spans is not None:
+                reason = "spans"
+            elif obs is not None and obs.profile is not None:
+                reason = "profiler"
+            elif not ordered:
+                reason = "empty-stream"
+            else:
+                reason = None
+            if reason is None:
+                from repro.sim import fast as _fast
 
-            report = ServingReport(policy=policy, stats=_fast.FastRecorder())
-            _fast.run_engine_fast(self, ordered, policy, report)
-            if obs is not None and obs.telemetry is not None:
-                obs.telemetry.record_counts(
-                    "engine",
-                    served=report.served,
-                    rejected=report.rejected_count,
-                    failed=report.failed_count,
-                )
-            return report
+                report = ServingReport(policy=policy, stats=_fast.FastRecorder())
+                _fast.run_engine_fast(self, ordered, policy, report)
+                if obs is not None and obs.telemetry is not None:
+                    obs.telemetry.record_counts(
+                        "engine",
+                        served=report.served,
+                        rejected=report.rejected_count,
+                        failed=report.failed_count,
+                    )
+                return report
+            from repro.obs.telemetry import record_fast_fallback
+
+            record_fast_fallback("engine", reason, obs)
         report = ServingReport(policy=policy, record=record)
         if not ordered:
             return report
